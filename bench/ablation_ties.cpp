@@ -1,0 +1,52 @@
+// Ablation (§3 "Note on ties"): quantize the intrinsic scores into a
+// handful of tie classes, break ties by id, and check the paper's
+// simulation claim that the stratification results survive. Weak
+// stability (no strictly-improving pair) holds by construction; the
+// stratification metrics barely move until the quantization becomes
+// absurdly coarse.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "core/ties.hpp"
+#include "graph/erdos_renyi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "b0", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 600));
+  const double d = cli.get_double("d", 16.0);
+  const auto b0 = static_cast<std::uint32_t>(cli.get_int("b0", 3));
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 16)));
+
+  bench::banner("Ablation: ties in the global ranking (n = " + std::to_string(n) + ", d = " +
+                sim::fmt(d, 0) + ", b0 = " + std::to_string(b0) + ")");
+
+  // Random scores: quantization + id tie-breaking genuinely permutes
+  // the ranking (with sorted scores the ablation would be a no-op).
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = rng.uniform();
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+
+  sim::Table table({"tie classes", "mean |rank offset| / n", "MMO / n", "weakly stable",
+                    "matched peers"});
+  for (const std::size_t levels : {n, 100ul, 20ul, 8ul, 3ul}) {
+    const core::TieLevels ties = core::quantize_scores(scores, levels);
+    const core::ExplicitAcceptance acc(g, ties.ranking);
+    const core::Matching m =
+        core::stable_configuration(acc, ties.ranking, std::vector<std::uint32_t>(n, b0));
+    std::size_t matched = 0;
+    for (core::PeerId p = 0; p < n; ++p) matched += m.degree(p) > 0 ? 1 : 0;
+    table.add_row({levels == n ? "strict (" + std::to_string(n) + ")" : std::to_string(levels),
+                   sim::fmt(core::mean_abs_offset(m, ties.ranking) / static_cast<double>(n), 4),
+                   sim::fmt(core::mean_max_offset(m, ties.ranking) / static_cast<double>(n), 4),
+                   core::is_weakly_stable(acc, ties, m) ? "yes" : "NO",
+                   std::to_string(matched)});
+  }
+  bench::emit(cli, table);
+  std::cout << "\n(the tie-broken stable configuration is always weakly stable; offsets\n"
+               " stay essentially unchanged down to a few dozen classes — the paper's\n"
+               " \"our results hold if we allow ties\")\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Baseline comparison (§2): eDonkey-style bilateral exchange vs the
+// TFT matching model. With independent server/client preference lists
+// and arrival-queue server priorities, download decouples from upload:
+// free-riders thrive and stratification vanishes. Re-coupling the
+// server side to the global ranking (a credit system) restores the
+// TFT-like stratified outcome — the paper's point that the *utility
+// function* determines the emergent structure.
+#include <iostream>
+
+#include "analysis/independent_bmatching.hpp"
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "core/bilateral.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "sim/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 600));
+  const double d = cli.get_double("d", 20.0);
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 15)));
+
+  bench::banner("Baseline: eDonkey-style bilateral exchange vs TFT matching (n = " +
+                std::to_string(n) + ", d = " + sim::fmt(d, 0) + ")");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const auto upload = model.representative_sample(n);
+  std::vector<double> per_slot(n);
+  for (std::size_t i = 0; i < n; ++i) per_slot[i] = upload[i] / 4.0;
+  const core::GlobalRanking ranking = core::GlobalRanking::from_scores(per_slot);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+
+  // TFT model expected download (Algorithm 3).
+  analysis::BMatchingOptions bm;
+  bm.n = n;
+  bm.p = d / static_cast<double>(n - 1);
+  bm.b0 = 3;
+  bm.weights = per_slot;  // index == rank: representative_sample is sorted
+  const auto tft = analysis::analyze_bmatching(bm);
+
+  // Bilateral assignments under both server policies.
+  core::BilateralConfig queue_cfg;
+  queue_cfg.policy = core::ServerPolicy::kRandomQueue;
+  core::BilateralConfig credit_cfg;
+  credit_cfg.policy = core::ServerPolicy::kGlobalRank;
+  const auto queue = core::bilateral_assignment(acc, ranking, queue_cfg, rng);
+  const auto credit = core::bilateral_assignment(acc, ranking, credit_cfg, rng);
+  const auto queue_dl = core::bilateral_download(queue, per_slot);
+  const auto credit_dl = core::bilateral_download(credit, per_slot);
+
+  // Rank-decile comparison of D/U ratios.
+  sim::Table table({"bandwidth decile", "TFT model D/U", "eDonkey queue D/U",
+                    "eDonkey credit D/U"});
+  const std::size_t decile = n / 10;
+  for (std::size_t band = 0; band < 10; ++band) {
+    double tft_du = 0.0;
+    double queue_du = 0.0;
+    double credit_du = 0.0;
+    for (std::size_t i = band * decile; i < (band + 1) * decile; ++i) {
+      tft_du += tft.expected_weight[i] / (3.0 * per_slot[i]);
+      queue_du += queue_dl[i] / (4.0 * per_slot[i]);
+      credit_du += credit_dl[i] / (4.0 * per_slot[i]);
+    }
+    const auto dd = static_cast<double>(decile);
+    table.add_row({std::to_string(band + 1), sim::fmt(tft_du / dd, 2),
+                   sim::fmt(queue_du / dd, 2), sim::fmt(credit_du / dd, 2)});
+  }
+  bench::emit(cli, table);
+
+  std::vector<double> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<double>(i);
+  std::cout << "\nSpearman(rank, download): queue "
+            << sim::fmt(sim::spearman(ranks, queue_dl), 3) << ", credit "
+            << sim::fmt(sim::spearman(ranks, credit_dl), 3)
+            << " (rank 0 = fastest; stratification needs strong negative)\n";
+  std::cout << "free-rider advantage (bottom-decile D/U, queue / credit): "
+            << sim::fmt(
+                   (queue_dl[n - decile / 2] / per_slot[n - decile / 2]) /
+                       std::max(1e-9, credit_dl[n - decile / 2] / per_slot[n - decile / 2]),
+                   1)
+            << "x\n";
+  std::cout << "\n(the arrival-queue policy hands slow peers the same sources as fast\n"
+               " ones — no contribution incentive; coupling the server side to the\n"
+               " ranking reproduces the TFT stratification. This is why BitTorrent's\n"
+               " single reciprocal preference list beats independent lists.)\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Shared plumbing for the figure-reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/cli.hpp"
+#include "sim/table.hpp"
+
+namespace strat::bench {
+
+/// Prints a table as CSV when --csv was passed, aligned ASCII otherwise.
+inline void emit(const sim::Cli& cli, const sim::Table& table) {
+  std::cout << (cli.get_bool("csv") ? table.to_csv() : table.render());
+}
+
+/// Standard banner: what this binary reproduces.
+inline void banner(const std::string& what) {
+  std::cout << "== " << what << " ==\n";
+}
+
+}  // namespace strat::bench

@@ -1,0 +1,54 @@
+// Extension (§1's peer-sampling reference): matching dynamics over
+// gossip-discovered views instead of a static acceptance graph. Frozen
+// views converge to the static instance's stable state and stop; gossip
+// keeps discovering better mates and drives the matching toward the
+// complete-knowledge stable configuration (adjacent-rank pairing).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/gossip.hpp"
+#include "core/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"peers", "view", "units", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 200));
+  const auto view = static_cast<std::size_t>(cli.get_int("view", 10));
+  const double units = cli.get_double("units", 120.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+
+  bench::banner("Extension: gossip-based rank discovery (n = " + std::to_string(peers) +
+                ", view " + std::to_string(view) + ")");
+
+  sim::Table table({"initiatives/peer", "disorder (frozen views)", "disorder (gossip 4/unit)",
+                    "mean offset (gossip)"});
+  graph::Rng rng_frozen(seed);
+  core::GossipParams frozen;
+  frozen.peers = peers;
+  frozen.view_size = view;
+  frozen.shuffles_per_unit = 0.0;
+  core::GossipSimulator frozen_sim(frozen, rng_frozen);
+
+  graph::Rng rng_gossip(seed + 1);
+  core::GossipParams gossip = frozen;
+  gossip.shuffles_per_unit = 4.0;
+  core::GossipSimulator gossip_sim(gossip, rng_gossip);
+
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(peers);
+  const double step = units / 12.0;
+  for (int i = 0; i <= 12; ++i) {
+    table.add_row({sim::fmt(static_cast<double>(i) * step, 0),
+                   sim::fmt(frozen_sim.disorder(), 3), sim::fmt(gossip_sim.disorder(), 3),
+                   sim::fmt(core::mean_abs_offset(gossip_sim.current(), ranking), 1)});
+    if (i < 12) {
+      frozen_sim.run(step, 1);
+      gossip_sim.run(step, 1);
+    }
+  }
+  bench::emit(cli, table);
+  std::cout << "\n(a random 1-matching would sit at mean offset ~" << peers / 3
+            << "; gossip keeps sorting toward offset 1 — the complete-knowledge\n"
+               " adjacent-rank pairing — while frozen views plateau at the static\n"
+               " instance's stable state)\n";
+  return 0;
+}

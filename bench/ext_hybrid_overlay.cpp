@@ -1,0 +1,77 @@
+// Extension (§7): combining the global-ranking utility with a
+// symmetric latency utility. Stratification is intrinsic to the
+// rank-based slots — but a single proximity slot per peer shortcuts the
+// chain-like collaboration graph, cutting its diameter (the streaming
+// play-out-delay concern) while leaving the TFT incentive structure
+// (rank matching, MMO) untouched.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hybrid.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/components.hpp"
+#include "graph/erdos_renyi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "rankslots", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 400));
+  const double d = cli.get_double("d", 30.0);
+  const auto rank_slots = static_cast<std::uint32_t>(cli.get_int("rankslots", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+
+  bench::banner("Extension: hybrid rank+latency overlays (n = " + std::to_string(n) +
+                ", d = " + sim::fmt(d, 0) + ", " + std::to_string(rank_slots) +
+                " rank slots)");
+
+  graph::Rng rng(seed);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph acceptance = graph::erdos_renyi_gnd(n, d, rng);
+  std::vector<double> coords(n);
+  for (auto& c : coords) c = rng.uniform();
+
+  // Baseline: pure rank matching.
+  const core::ExplicitAcceptance acc(acceptance, ranking);
+  const core::Matching rank_only =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, rank_slots));
+  const auto rank_graph = core::collaboration_graph(rank_only);
+
+  sim::Table table({"proximity slots", "largest-component diameter", "components",
+                    "rank-matching MMO", "mean proximity distance"});
+  {
+    const auto comps = graph::connected_components(rank_graph);
+    table.add_row({"0 (pure TFT)",
+                   std::to_string(core::largest_component_diameter(rank_graph)),
+                   std::to_string(comps.count()),
+                   sim::fmt(core::mean_max_offset(rank_only, ranking), 1), "-"});
+  }
+  for (const std::uint32_t prox : {1u, 2u, 3u}) {
+    core::HybridConfig cfg;
+    cfg.rank_slots = rank_slots;
+    cfg.proximity_slots = prox;
+    const core::HybridOverlay overlay =
+        core::build_hybrid_overlay(acceptance, ranking, coords, cfg);
+    double dist = 0.0;
+    std::size_t pairs = 0;
+    for (core::PeerId p = 0; p < n; ++p) {
+      for (core::PeerId q : overlay.proximity_matching.mates(p)) {
+        if (q > p) {
+          dist += core::ring_distance(coords[p], coords[q]);
+          ++pairs;
+        }
+      }
+    }
+    const auto comps = graph::connected_components(overlay.combined);
+    table.add_row({std::to_string(prox),
+                   std::to_string(core::largest_component_diameter(overlay.combined)),
+                   std::to_string(comps.count()),
+                   sim::fmt(core::mean_max_offset(overlay.rank_matching, ranking), 1),
+                   pairs == 0 ? "-" : sim::fmt(dist / static_cast<double>(pairs), 4)});
+  }
+  bench::emit(cli, table);
+  std::cout << "\n(the rank matching — and with it the TFT incentive/stratification\n"
+               " structure — is untouched; the symmetric slots only add shortcuts.\n"
+               " Mean ring distance of a random pair is 0.25.)\n";
+  return 0;
+}

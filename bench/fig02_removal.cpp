@@ -1,0 +1,87 @@
+// Figure 2: starting from the stable state of (n = 1000, d = 10,
+// 1-matching), remove one peer (paper labels 1, 100, 300, 600) and
+// watch convergence towards the new stable state.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dynamics.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace {
+
+using namespace strat;
+
+std::vector<core::TrajectoryPoint> removal_run(const graph::Graph& g,
+                                               const core::GlobalRanking& ranking,
+                                               const core::Matching& stable,
+                                               core::PeerId victim, double units,
+                                               std::uint64_t seed) {
+  const std::size_t n = g.order();
+  graph::Graph perturbed = g;
+  perturbed.isolate(victim);
+  const core::ExplicitAcceptance acc(perturbed, ranking);
+  std::vector<std::uint32_t> caps(n, 1);
+  caps[victim] = 0;
+  graph::Rng rng(seed);
+  core::DynamicsEngine engine(acc, ranking, caps, core::Strategy::kBestMate, rng);
+  core::Matching seeded{std::vector<std::uint32_t>(caps)};
+  for (core::PeerId p = 0; p < n; ++p) {
+    const core::PeerId q = stable.mate(p);
+    if (q != core::kNoPeer && q > p && p != victim && q != victim) {
+      seeded.connect(p, q, ranking);
+    }
+  }
+  engine.set_current(std::move(seeded));
+  return engine.run(units, 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const strat::sim::Cli cli(argc, argv, {"n", "d", "units", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
+  const double d = cli.get_double("d", 10.0);
+  const double units = cli.get_double("units", 10.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
+
+  strat::bench::banner("Figure 2: recovery after removing one peer from the stable state");
+  std::cout << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
+
+  graph::Rng rng(seed);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const core::Matching stable =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 1));
+
+  // Paper labels are 1-based; victims scaled to n.
+  const std::vector<core::PeerId> victims{
+      0, static_cast<core::PeerId>(n / 10 - 1), static_cast<core::PeerId>(3 * n / 10 - 1),
+      static_cast<core::PeerId>(6 * n / 10 - 1)};
+  std::vector<std::vector<core::TrajectoryPoint>> runs;
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    runs.push_back(removal_run(g, ranking, stable, victims[v], units, seed + 10 + v));
+  }
+
+  std::vector<std::string> headers{"initiatives/peer"};
+  for (core::PeerId v : victims) headers.push_back("peer " + std::to_string(v + 1) + " removed");
+  strat::sim::Table table(headers);
+  const std::size_t points = runs.front().size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{strat::sim::fmt(runs[0][i].initiatives_per_peer, 2)};
+    for (const auto& run : runs) {
+      row.push_back(strat::sim::fmt(run[std::min(i, run.size() - 1)].disorder, 6));
+    }
+    table.add_row(row);
+  }
+  strat::bench::emit(cli, table);
+
+  std::cout << "\npeak disorder per removal (paper: good peers cause more disorder):\n";
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    double peak = 0.0;
+    for (const auto& pt : runs[v]) peak = std::max(peak, pt.disorder);
+    std::cout << "  peer " << victims[v] + 1 << ": " << strat::sim::fmt(peak, 6) << "\n";
+  }
+  return 0;
+}

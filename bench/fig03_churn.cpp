@@ -1,0 +1,61 @@
+// Figure 3: from the empty configuration, distance to the *instant*
+// stable state under continuous churn (1000 users, 1-matching, 10
+// neighbors per peer) for churn rates 30/1000 .. 0.5/1000 and no churn.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/churn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "units", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1000));
+  const double d = cli.get_double("d", 10.0);
+  const double units = cli.get_double("units", 20.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  bench::banner("Figure 3: disorder vs time under churn");
+  std::cout << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
+
+  const std::vector<double> rates{0.03, 0.01, 0.003, 0.0005, 0.0};
+  std::vector<std::vector<core::TrajectoryPoint>> runs;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    graph::Rng rng(seed + r);
+    core::ChurnParams params;
+    params.initial_peers = n;
+    params.expected_degree = d;
+    params.capacity = 1;
+    params.churn_rate = rates[r];
+    core::ChurnSimulator sim_(params, rng);
+    runs.push_back(sim_.run(units, 2));
+  }
+
+  std::vector<std::string> headers{"initiatives/peer"};
+  for (double r : rates) {
+    headers.push_back(r == 0.0 ? "no churn"
+                               : "churn=" + sim::fmt(r * 1000.0, 1) + "/1000");
+  }
+  sim::Table table(headers);
+  for (std::size_t i = 0; i < runs.front().size(); ++i) {
+    std::vector<std::string> row{sim::fmt(runs[0][i].initiatives_per_peer, 1)};
+    for (const auto& run : runs) {
+      row.push_back(sim::fmt(run[std::min(i, run.size() - 1)].disorder, 4));
+    }
+    table.add_row(row);
+  }
+  bench::emit(cli, table);
+
+  std::cout << "\nmean plateau disorder (second half; paper: roughly proportional to rate):\n";
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = runs[r].size() / 2; i < runs[r].size(); ++i) {
+      sum += runs[r][i].disorder;
+      ++count;
+    }
+    std::cout << "  rate " << sim::fmt(rates[r] * 1000.0, 1)
+              << "/1000: " << sim::fmt(sum / static_cast<double>(count), 4) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 6: influence of sigma for b-matching with b ~ N(6, sigma) on a
+// complete acceptance graph. Mean cluster size explodes at the phase
+// transition (sigma ~ 0.15) while the Mean Max Offset decreases.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "bmean", "seeds", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 60000));
+  const double bmean = cli.get_double("bmean", 6.0);
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 2));
+
+  bench::banner("Figure 6: sigma sweep for N(" + sim::fmt(bmean, 0) + ", sigma)-matching");
+  std::cout << "(n = " << n << ", complete acceptance graph)\n";
+
+  sim::Table table({"sigma", "mean cluster size", "MMO"});
+  std::vector<double> sigmas;
+  for (double s = 0.0; s <= 2.0001; s += 0.1) sigmas.push_back(s);
+
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  for (const double sigma : sigmas) {
+    double cluster_sum = 0.0;
+    double mmo_sum = 0.0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      graph::Rng rng(1000 + static_cast<std::uint64_t>(sigma * 100.0) + s);
+      std::vector<std::uint32_t> caps(n);
+      for (auto& b : caps) {
+        b = static_cast<std::uint32_t>(std::max(1.0, std::round(rng.normal(bmean, sigma))));
+      }
+      const core::Matching m = core::stable_configuration_complete(caps);
+      cluster_sum += core::cluster_stats(m).mean_size;
+      mmo_sum += core::mean_max_offset(m, ranking);
+    }
+    table.add_row({sim::fmt(sigma, 1), sim::fmt(cluster_sum / static_cast<double>(seeds), 1),
+                   sim::fmt(mmo_sum / static_cast<double>(seeds), 2)});
+  }
+  bench::emit(cli, table);
+  std::cout << "\n(paper: cluster size explodes once sigma ~ 0.15 produces heterogeneous\n"
+               " samples, then stays almost constant; MMO decreases across the transition;\n"
+               " sigma = 0 is the constant 6-matching: cluster 7, MMO "
+            << sim::fmt(core::mmo_closed_form(6), 2) << ")\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 8: mate-rank distribution D(i, .) in the independent
+// 1-matching model for n = 5000, p = 0.5% — a well-ranked peer (200), a
+// central peer (2500) and a low peer (4800). (Paper labels 1-based.)
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "analysis/independent_matching.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "p", "bins", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 5000));
+  const double p = cli.get_double("p", 0.005);
+  const auto bins = static_cast<std::size_t>(cli.get_int("bins", 25));
+
+  bench::banner("Figure 8: mate distributions for peers 200, 2500, 4800 (n = " +
+                std::to_string(n) + ", p = " + sim::fmt(p * 100.0, 2) + "%)");
+
+  const std::vector<core::PeerId> peers{
+      static_cast<core::PeerId>(n * 200 / 5000 - 1),
+      static_cast<core::PeerId>(n * 2500 / 5000 - 1),
+      static_cast<core::PeerId>(n * 4800 / 5000 - 1)};
+  analysis::StreamingOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.capture_rows = peers;
+  const analysis::StreamingResult result = analysis::independent_1matching_streaming(opt);
+
+  std::vector<std::string> headers{"mate rank bin"};
+  for (core::PeerId peer : peers) headers.push_back("D(" + std::to_string(peer + 1) + ", .)");
+  sim::Table table(headers);
+  const std::size_t width = n / bins;
+  for (std::size_t b = 0; b < bins; ++b) {
+    std::string label = "[";
+    label += std::to_string(b * width + 1);
+    label += ", ";
+    label += std::to_string((b + 1) * width);
+    label += "]";
+    std::vector<std::string> row{std::move(label)};
+    for (core::PeerId peer : peers) {
+      const auto& dist = result.rows.at(peer);
+      double mass = 0.0;
+      for (std::size_t j = b * width; j < (b + 1) * width && j < n; ++j) mass += dist[j];
+      row.push_back(sim::fmt(mass, 5));
+    }
+    table.add_row(row);
+  }
+  bench::emit(cli, table);
+
+  std::cout << "\nper-peer summary (paper: geometric-ish top, shifted symmetric bulk,\n"
+               "truncated bottom with unmatched probability; worst peer ~ 1/2):\n";
+  for (core::PeerId peer : peers) {
+    const auto& dist = result.rows.at(peer);
+    double mass = 0.0;
+    double mean = 0.0;
+    double peak = 0.0;
+    std::size_t mode = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      mass += dist[j];
+      mean += dist[j] * static_cast<double>(j + 1);
+      if (dist[j] > peak) {
+        peak = dist[j];
+        mode = j + 1;
+      }
+    }
+    std::cout << "  peer " << peer + 1 << ": P(matched) = " << sim::fmt(mass, 4)
+              << ", mean mate rank = " << sim::fmt(mass > 0 ? mean / mass : 0.0, 1)
+              << ", mode = " << mode << ", peak = " << sim::fmt_sci(peak, 3) << "\n";
+  }
+  std::cout << "  worst peer " << n << ": P(matched) = "
+            << sim::fmt(result.mass[n - 1], 4) << " (paper: 1/2 in the limit)\n";
+  return 0;
+}

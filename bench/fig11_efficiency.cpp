@@ -1,0 +1,82 @@
+// Figure 11: expected download/upload ratio as a function of the upload
+// bandwidth offered per slot. b0 = 3 TFT slots out of 4 total, d = 20
+// expected acceptable peers, bandwidths from the Figure 10 model.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/efficiency.hpp"
+#include "sim/histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "tft", "total", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const double d = cli.get_double("d", 20.0);
+  const auto tft = static_cast<std::size_t>(cli.get_int("tft", 3));
+  const auto total = static_cast<std::size_t>(cli.get_int("total", 4));
+
+  bench::banner("Figure 11: expected D/U ratio vs upload bandwidth per slot (b0 = " +
+                std::to_string(tft) + ", d = " + sim::fmt(d, 0) + ", n = " +
+                std::to_string(n) + ")");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  bt::EfficiencyOptions opt;
+  opt.n = n;
+  opt.tft_slots = tft;
+  opt.total_slots = total;
+  opt.mean_acceptable = d;
+  const auto curve = bt::expected_efficiency_curve(model, opt);
+
+  // Bin by per-slot bandwidth (log bins over 10^0.5 .. 10^4.5).
+  const std::size_t bins = 36;
+  std::vector<double> eff_sum(bins, 0.0);
+  std::vector<double> count(bins, 0.0);
+  const double lo = 0.5;
+  const double hi = 4.5;
+  for (const auto& pt : curve) {
+    const double lx = std::log10(pt.per_slot_kbps);
+    auto b = static_cast<long>((lx - lo) / (hi - lo) * static_cast<double>(bins));
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    eff_sum[static_cast<std::size_t>(b)] += pt.efficiency;
+    count[static_cast<std::size_t>(b)] += 1.0;
+  }
+  sim::Table table({"bandwidth per slot (kbps)", "peers", "expected efficiency"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0.0) continue;
+    const double center = std::pow(10.0, lo + (static_cast<double>(b) + 0.5) / bins * (hi - lo));
+    const double eff = eff_sum[b] / count[b];
+    table.add_row({sim::fmt(center, 1), sim::fmt(count[b], 0), sim::fmt(eff, 3)});
+    xs.push_back(std::log10(center));
+    ys.push_back(eff);
+  }
+  bench::emit(cli, table);
+  std::cout << "\nefficiency vs log10(bandwidth/slot):\n" << sim::ascii_series(xs, ys, 50, 2, 3);
+
+  std::cout << "\npaper observations reproduced:\n"
+            << "  best peer efficiency:  " << sim::fmt(curve.front().efficiency, 3)
+            << "  (paper: best peers suffer, < 1)\n";
+  double tail = 0.0;
+  for (std::size_t i = n - n / 10; i < n; ++i) tail += curve[i].efficiency;
+  std::cout << "  bottom-decile mean:    " << sim::fmt(tail / static_cast<double>(n / 10), 3)
+            << "  (paper: lowest peers have high efficiency)\n";
+  double peak = 0.0;
+  std::size_t peak_rank = 0;
+  for (const auto& pt : curve) {
+    if (pt.efficiency > peak) {
+      peak = pt.efficiency;
+      peak_rank = pt.rank;
+    }
+  }
+  std::cout << "  max efficiency:        " << sim::fmt(peak, 3) << " at "
+            << sim::fmt(curve[peak_rank].per_slot_kbps, 1)
+            << " kbps/slot (paper: peaks just above density peaks)\n";
+  std::cout << "  unmatched probability of the worst peer: "
+            << sim::fmt(1.0 - curve.back().match_probability, 3)
+            << " (paper: Figure 8(c) cut distribution)\n";
+  return 0;
+}

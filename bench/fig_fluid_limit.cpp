@@ -1,0 +1,46 @@
+// Conjecture 1 (fluid limit): with p = d/n, the scaled mate distribution
+// of the best peer converges to the density d e^{-beta d}. Reproduces
+// the alpha = 0 special case the paper derives in §5.2.1.
+#include <iostream>
+#include <vector>
+
+#include "analysis/fluid_limit.hpp"
+#include "analysis/independent_matching.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"d", "csv"});
+  const double d = cli.get_double("d", 10.0);
+
+  bench::banner("Conjecture 1: fluid limit of the best peer's mate distribution (d = " +
+                sim::fmt(d, 0) + ")");
+
+  const std::vector<std::size_t> ns{500, 1000, 2000, 4000, 8000};
+  sim::Table table({"beta", "d e^{-beta d}", "n=500", "n=1000", "n=2000", "n=4000", "n=8000"});
+  std::vector<std::vector<double>> rows;
+  for (const std::size_t n : ns) {
+    analysis::StreamingOptions opt;
+    opt.n = n;
+    opt.p = d / static_cast<double>(n);
+    opt.capture_rows = {0};
+    rows.push_back(analysis::independent_1matching_streaming(opt).rows.at(0));
+  }
+  for (double beta = 0.02; beta <= 0.5001; beta += 0.04) {
+    std::vector<std::string> row{sim::fmt(beta, 2),
+                                 sim::fmt(analysis::fluid_density_alpha0(beta, d), 4)};
+    for (std::size_t k = 0; k < ns.size(); ++k) {
+      const auto j = static_cast<std::size_t>(beta * static_cast<double>(ns[k]));
+      row.push_back(sim::fmt(static_cast<double>(ns[k]) * rows[k][j], 4));
+    }
+    table.add_row(row);
+  }
+  bench::emit(cli, table);
+
+  std::cout << "\nsup-norm error vs the analytic density (must shrink with n):\n";
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    std::cout << "  n = " << ns[k] << ": "
+              << sim::fmt(analysis::fluid_limit_sup_error(rows[k], d), 4) << "\n";
+  }
+  return 0;
+}

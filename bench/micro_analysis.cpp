@@ -1,0 +1,72 @@
+// Microbenchmarks: Algorithms 2 and 3 and the Monte-Carlo estimator.
+#include <benchmark/benchmark.h>
+
+#include "analysis/independent_bmatching.hpp"
+#include "analysis/independent_matching.hpp"
+#include "analysis/monte_carlo.hpp"
+#include "graph/rng.hpp"
+
+namespace {
+
+using namespace strat;
+
+void BM_Algorithm2FullMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const analysis::Independent1Matching m(n, 10.0 / static_cast<double>(n));
+    benchmark::DoNotOptimize(m.mass(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n / 2));
+}
+BENCHMARK(BM_Algorithm2FullMatrix)->Arg(500)->Arg(2000);
+
+void BM_Algorithm2Streaming(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::StreamingOptions opt;
+  opt.n = n;
+  opt.p = 10.0 / static_cast<double>(n);
+  opt.capture_rows = {0};
+  for (auto _ : state) {
+    const auto result = analysis::independent_1matching_streaming(opt);
+    benchmark::DoNotOptimize(result.mass[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n / 2));
+}
+BENCHMARK(BM_Algorithm2Streaming)->Arg(2000)->Arg(8000);
+
+void BM_Algorithm3Streaming(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b0 = static_cast<std::size_t>(state.range(1));
+  analysis::BMatchingOptions opt;
+  opt.n = n;
+  opt.p = 20.0 / static_cast<double>(n);
+  opt.b0 = b0;
+  for (auto _ : state) {
+    const auto result = analysis::analyze_bmatching(opt);
+    benchmark::DoNotOptimize(result.expected_mates[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n / 2 * b0));
+}
+BENCHMARK(BM_Algorithm3Streaming)->Args({1000, 2})->Args({1000, 3})->Args({4000, 3});
+
+void BM_MonteCarloRealization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::MonteCarloOptions opt;
+  opt.n = n;
+  opt.p = 20.0 / static_cast<double>(n);
+  opt.b0 = 2;
+  opt.realizations = 1;
+  opt.tracked = {static_cast<core::PeerId>(n / 2)};
+  graph::Rng rng(5);
+  for (auto _ : state) {
+    const auto result = analysis::estimate_mate_distribution(opt, rng);
+    benchmark::DoNotOptimize(result.realizations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonteCarloRealization)->Arg(1000)->Arg(5000);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Microbenchmarks: Algorithm 1 (generic + complete-graph fast path),
+// blocking-pair search, and single initiatives.
+#include <benchmark/benchmark.h>
+
+#include "core/blocking.hpp"
+#include "core/disorder.hpp"
+#include "core/initiative.hpp"
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace {
+
+using namespace strat;
+
+void BM_StableConfigurationER(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b0 = static_cast<std::uint32_t>(state.range(1));
+  graph::Rng rng(1);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  core::Matching m(n, b0);
+  for (auto _ : state) {
+    core::stable_configuration(acc, ranking, m);
+    benchmark::DoNotOptimize(m.connection_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_StableConfigurationER)
+    ->Args({1000, 1})
+    ->Args({1000, 3})
+    ->Args({10000, 1})
+    ->Args({10000, 3});
+
+void BM_StableConfigurationComplete(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint32_t> caps(n, 4);
+  for (auto _ : state) {
+    const core::Matching m = core::stable_configuration_complete(caps);
+    benchmark::DoNotOptimize(m.connection_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StableConfigurationComplete)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_CompleteViaGenericSolver(benchmark::State& state) {
+  // Ablation partner of the fast path: the same instance through the
+  // generic solver over a materialized K_n.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const core::CompleteAcceptance acc(n, ranking);
+  core::Matching m(n, 4);
+  for (auto _ : state) {
+    core::stable_configuration(acc, ranking, m);
+    benchmark::DoNotOptimize(m.connection_count());
+  }
+}
+BENCHMARK(BM_CompleteViaGenericSolver)->Arg(1000)->Arg(4000);
+
+void BM_FindBlockingPair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(2);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const core::Matching stable =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::find_blocking_pair(acc, ranking, stable));
+  }
+}
+BENCHMARK(BM_FindBlockingPair)->Arg(1000)->Arg(10000);
+
+void BM_BestMateInitiative(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(3);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  core::Matching m(n, 1);
+  core::PeerId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_mate_initiative(acc, ranking, m, p));
+    p = static_cast<core::PeerId>((p + 7919) % n);  // pseudo-random walk
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BestMateInitiative)->Arg(1000)->Arg(10000);
+
+void BM_DisorderMetric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(4);
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const core::Matching stable =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 1));
+  const core::Matching empty(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::disorder_1matching(empty, stable, ranking));
+  }
+}
+BENCHMARK(BM_DisorderMetric)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Microbenchmarks: swarm round throughput and its building blocks.
+#include <benchmark/benchmark.h>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/piece_picker.hpp"
+#include "bittorrent/swarm.hpp"
+
+namespace {
+
+using namespace strat;
+
+void BM_SwarmRound(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  bt::SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 1;
+  cfg.num_pieces = 1024;
+  cfg.piece_kb = 1024.0;  // long-lived so rounds stay comparable
+  cfg.neighbor_degree = 30.0;
+  cfg.initial_completion = 0.5;
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::Swarm swarm(cfg, model.representative_sample(peers), rng);
+  for (auto _ : state) {
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_SwarmRound)->Arg(100)->Arg(400);
+
+void BM_RarestFirstPick(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(2);
+  bt::PiecePicker picker(pieces);
+  bt::Bitfield local(pieces);
+  bt::Bitfield remote(pieces);
+  for (bt::PieceId i = 0; i < pieces; ++i) {
+    const auto copies = static_cast<std::uint32_t>(rng.below(20));
+    for (std::uint32_t c = 0; c < copies; ++c) picker.add_availability(i);
+    if (rng.bernoulli(0.5)) local.set(i);
+    if (rng.bernoulli(0.7)) remote.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(picker.pick_rarest(local, remote, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pieces));
+}
+BENCHMARK(BM_RarestFirstPick)->Arg(256)->Arg(4096);
+
+void BM_BandwidthQuantile(benchmark::State& state) {
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  double q = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.quantile(q));
+    q += 0.001;
+    if (q >= 0.999) q = 0.001;
+  }
+}
+BENCHMARK(BM_BandwidthQuantile);
+
+}  // namespace

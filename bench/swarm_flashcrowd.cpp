@@ -1,0 +1,49 @@
+// §6 assumption check: "during the post flash crowd phase, all blocks
+// have roughly the same repartition, because of the download rarest
+// first policy". Starting from a flash crowd (every leecher empty, one
+// seed), rarest-first drives the piece-availability dispersion down;
+// once the coefficient of variation is small, bandwidth — not content —
+// is the binding constraint and the matching model applies.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/swarm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"peers", "rounds", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 100));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 60));
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 13)));
+
+  bench::banner("Flash crowd: rarest-first equalizes block repartition (" +
+                std::to_string(peers) + " leechers)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  bt::SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 1;
+  cfg.num_pieces = 256;
+  cfg.piece_kb = 128.0;
+  cfg.neighbor_degree = 25.0;
+  cfg.post_flashcrowd = false;  // everyone starts empty
+  bt::Swarm swarm(cfg, model.representative_sample(peers), rng);
+
+  sim::Table table({"round", "mean copies/piece", "min", "max", "coeff. of variation",
+                    "completed leechers"});
+  const std::size_t stride = std::max<std::size_t>(1, rounds / 12);
+  for (std::size_t r = 0; r <= rounds; r += stride) {
+    const auto stats = swarm.availability_stats();
+    table.add_row({std::to_string(swarm.rounds_elapsed()), sim::fmt(stats.mean, 1),
+                   std::to_string(stats.min), std::to_string(stats.max),
+                   sim::fmt(stats.coefficient_of_variation, 3),
+                   std::to_string(swarm.completed_leechers())});
+    if (r < rounds) swarm.run(stride);
+  }
+  bench::emit(cli, table);
+  std::cout << "\n(in the flash-crowd phase availability is wildly uneven — the seed is\n"
+               " the only source; rarest-first pushes the coefficient of variation\n"
+               " down, establishing the post-flash-crowd regime the §6 model assumes)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// BitTorrent scenario: a post-flash-crowd swarm with realistic 2002-era
+// bandwidths. Shows protocol-level stratification (who exchanges with
+// whom under Tit-for-Tat) and compares per-peer download rates against
+// the matching model's Figure 11 efficiency predictions.
+//
+//   ./bittorrent_swarm [--peers N] [--rounds R] [--seed S]
+#include <iostream>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/efficiency.hpp"
+#include "bittorrent/swarm.hpp"
+#include "sim/cli.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"peers", "rounds", "seed"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 120));
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 60));
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 11)));
+
+  // Upstream capacities drawn from the Saroiu-style distribution the
+  // paper feeds its model with (Figure 10).
+  const bt::BandwidthModel bandwidth = bt::BandwidthModel::saroiu2002();
+  const std::vector<double> upload = bandwidth.representative_sample(peers);
+
+  bt::SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 1;
+  cfg.num_pieces = 2048;      // a payload large enough to keep leeching
+  cfg.piece_kb = 1024.0;
+  cfg.neighbor_degree = 30.0; // tracker hands out ~30 neighbors
+  cfg.initial_completion = 0.5;
+
+  bt::Swarm swarm(cfg, upload, rng);
+  std::cout << "running " << peers << "-leecher swarm for " << rounds
+            << " choke intervals (10 s each)...\n";
+  swarm.run(rounds / 2);
+  swarm.reset_stratification();  // drop the bootstrap noise
+  swarm.run(rounds - rounds / 2);
+
+  const bt::StratificationReport report = swarm.stratification();
+  std::cout << "\nTFT stratification (steady-state window):\n"
+            << "  reciprocated TFT pairs:        " << report.reciprocated_pairs << "\n"
+            << "  partner-rank correlation:      " << sim::fmt(report.partner_rank_correlation, 3)
+            << " (1 = perfect stratification)\n"
+            << "  mean normalized rank offset:   " << sim::fmt(report.mean_normalized_offset, 3)
+            << " (random pairing ~ 0.333)\n";
+
+  // Compare measured download rates with the analytic expectation.
+  bt::EfficiencyOptions eff_opt;
+  eff_opt.n = peers;
+  eff_opt.mean_acceptable = cfg.neighbor_degree;
+  const auto curve = bt::expected_efficiency_curve(bandwidth, eff_opt);
+
+  sim::Table table({"bandwidth decile", "upload kbps (mean)", "download kbps (swarm)",
+                    "model expected download"});
+  const std::size_t decile = peers / 10;
+  for (std::size_t d = 0; d < 10; ++d) {
+    double up = 0.0;
+    double down = 0.0;
+    double expect = 0.0;
+    for (std::size_t i = d * decile; i < (d + 1) * decile; ++i) {
+      up += upload[i];
+      down += swarm.leech_download_kbps(static_cast<core::PeerId>(i));
+      // Model counts TFT receipts only; the swarm adds optimistic gifts.
+      expect += curve[i].expected_download;
+    }
+    const auto dd = static_cast<double>(decile);
+    table.add_row({std::to_string(d + 1), sim::fmt(up / dd, 0), sim::fmt(down / dd, 0),
+                   sim::fmt(expect / dd, 0)});
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\n(decile 1 = fastest peers; the shared shape — download rate tracking\n"
+               " upload rank — is the paper's stratification story at protocol level)\n";
+  return 0;
+}

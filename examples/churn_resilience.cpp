@@ -1,0 +1,67 @@
+// Churn scenario: a collaborative overlay (e.g. cooperative backup or
+// streaming) under peer arrivals and departures. Demonstrates §3's
+// finding that the stable configuration acts as an attractor — disorder
+// stays proportional to the churn rate instead of accumulating — and
+// what happens during a churn storm.
+//
+//   ./churn_resilience [--n N] [--d D] [--seed S]
+#include <iostream>
+
+#include "core/churn.hpp"
+#include "sim/cli.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "seed"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 600));
+  const double d = cli.get_double("d", 12.0);
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 21)));
+
+  std::cout << "collaborative overlay with " << n << " peers, ~" << d
+            << " acceptable partners each, 2 collaboration slots per peer\n\n";
+
+  core::ChurnParams params;
+  params.initial_peers = n;
+  params.expected_degree = d;
+  params.capacity = 2;
+  params.churn_rate = 0.005;  // calm weather: 5 events per 1000 initiatives
+  core::ChurnSimulator sim_(params, rng);
+
+  // Phase 1: bootstrap from the empty configuration under light churn.
+  std::cout << "phase 1: bootstrap under light churn (rate 5/1000)\n";
+  sim::Table t1({"initiatives/peer", "disorder vs instant stable"});
+  for (const auto& pt : sim_.run(6.0, 1)) {
+    t1.add_row({sim::fmt(pt.initiatives_per_peer, 1), sim::fmt(pt.disorder, 4)});
+  }
+  std::cout << t1.render() << "\n";
+
+  // Phase 2: steady state — the attractor keeps disorder bounded.
+  std::cout << "phase 2: steady state (10 more units at the same rate)\n";
+  double plateau = 0.0;
+  const auto steady = sim_.run(10.0, 1);
+  for (const auto& pt : steady) plateau += pt.disorder;
+  std::cout << "  mean disorder: " << sim::fmt(plateau / static_cast<double>(steady.size()), 4)
+            << "  (arrivals so far: " << sim_.arrivals()
+            << ", departures: " << sim_.departures() << ")\n\n";
+
+  std::cout << "phase 3: churn storm — compare plateaus across rates\n";
+  sim::Table t3({"churn rate (events/1000 initiatives)", "plateau disorder"});
+  for (const double rate : {0.001, 0.01, 0.05, 0.15}) {
+    graph::Rng storm_rng(static_cast<std::uint64_t>(cli.get_int("seed", 21)) + 100);
+    core::ChurnParams storm = params;
+    storm.churn_rate = rate;
+    core::ChurnSimulator storm_sim(storm, storm_rng);
+    storm_sim.run(8.0, 1);  // burn-in
+    const auto traj = storm_sim.run(8.0, 2);
+    double mean = 0.0;
+    for (const auto& pt : traj) mean += pt.disorder;
+    t3.add_row({sim::fmt(rate * 1000.0, 1),
+                sim::fmt(mean / static_cast<double>(traj.size()), 4)});
+  }
+  std::cout << t3.render();
+  std::cout << "\n(the plateau scales roughly linearly with the churn rate — §3's\n"
+               " \"disorder kept under control\": the overlay never drifts far from\n"
+               " the instant stable configuration)\n";
+  return 0;
+}

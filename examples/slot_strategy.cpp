@@ -1,0 +1,56 @@
+// Strategy optimizer: "I have U kbps of upstream — how many TFT slots
+// should my client run?" Reproduces §6's rational-peer analysis: fewer
+// slots mean a higher per-slot rate and better partners, pulling
+// rational peers toward one slot, while the swarm needs b0 >= 3 for a
+// connected collaboration graph.
+//
+//   ./slot_strategy [--upload KBPS] [--n N] [--realizations R]
+#include <iostream>
+
+#include "bittorrent/efficiency.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "sim/cli.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"upload", "n", "realizations", "seed"});
+  bt::SlotStrategyOptions opt;
+  opt.deviator_upload_kbps = cli.get_double("upload", 640.0);
+  opt.n = static_cast<std::size_t>(cli.get_int("n", 400));
+  opt.realizations = static_cast<std::size_t>(cli.get_int("realizations", 60));
+  opt.max_tft_slots = 8;
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 31)));
+
+  std::cout << "peer with " << opt.deviator_upload_kbps << " kbps upstream among " << opt.n - 1
+            << " obedient peers (3 TFT + 1 optimistic each)\n\n";
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const auto sweep = bt::slot_strategy_sweep(model, opt, rng);
+
+  sim::Table table({"TFT slots", "kbps per slot", "mean TFT mates", "expected download (kbps)",
+                    "share ratio D/U"});
+  std::size_t best = 0;
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const auto& pt = sweep[k];
+    table.add_row({std::to_string(pt.tft_slots), sim::fmt(pt.per_slot_kbps, 1),
+                   sim::fmt(pt.mean_mates, 2), sim::fmt(pt.mean_download, 0),
+                   sim::fmt(pt.efficiency, 3)});
+    if (pt.efficiency > sweep[best].efficiency) best = k;
+  }
+  std::cout << table.render();
+  std::cout << "\nselfish optimum: " << sweep[best].tft_slots
+            << " TFT slot(s) — the §6 Nash drift toward one slot.\n";
+
+  std::cout << "\nwhy the default stays at 4 (3 TFT + 1 optimistic):\n";
+  for (std::uint32_t b = 1; b <= 4; ++b) {
+    const core::Matching m =
+        core::stable_configuration_complete(std::vector<std::uint32_t>(16, b));
+    std::cout << "  everyone at b0 = " << b << ": collaboration graph has "
+              << core::cluster_stats(m).components << " components\n";
+  }
+  std::cout << "(if every rational peer dropped to 1 slot, the exchange graph would\n"
+               " shatter into pairs; obedient defaults keep the swarm connected)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Streaming scenario (§7): a P2P live-streaming overlay needs both
+// incentives (TFT-style rank matching keeps peers contributing) and a
+// small diameter (play-out delay grows with hop count). Pure
+// stratified matching produces a long chain of bandwidth strata; this
+// example builds the hybrid overlay the paper proposes — rank slots
+// plus one latency-matched slot — and reports the delay improvement.
+//
+//   ./streaming_overlay [--n N] [--d D] [--seed S]
+#include <iostream>
+
+#include "core/hybrid.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/components.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "sim/cli.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv, {"n", "d", "seed"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 500));
+  const double d = cli.get_double("d", 30.0);
+  graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 41)));
+
+  std::cout << "live-streaming overlay: " << n << " peers, ~" << d
+            << " known contacts each, ranked by upload capacity\n\n";
+
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph contacts = graph::erdos_renyi_gnd(n, d, rng);
+  // Network coordinates: position on a latency ring.
+  std::vector<double> coords(n);
+  for (auto& c : coords) c = rng.uniform();
+
+  // Pure TFT-style overlay: 4 rank-matched slots.
+  const core::ExplicitAcceptance acc(contacts, ranking);
+  const core::Matching pure =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 4));
+  const auto pure_graph = core::collaboration_graph(pure);
+
+  // Hybrid: 3 rank slots + 1 latency slot (same total degree budget).
+  core::HybridConfig cfg;
+  cfg.rank_slots = 3;
+  cfg.proximity_slots = 1;
+  const core::HybridOverlay hybrid = core::build_hybrid_overlay(contacts, ranking, coords, cfg);
+
+  sim::Table table({"overlay", "diameter (hops)", "components", "incentive width (MMO)"});
+  table.add_row({"pure rank x4", std::to_string(core::largest_component_diameter(pure_graph)),
+                 std::to_string(graph::connected_components(pure_graph).count()),
+                 sim::fmt(core::mean_max_offset(pure, ranking), 1)});
+  table.add_row({"hybrid 3+1",
+                 std::to_string(core::largest_component_diameter(hybrid.combined)),
+                 std::to_string(graph::connected_components(hybrid.combined).count()),
+                 sim::fmt(core::mean_max_offset(hybrid.rank_matching, ranking), 1)});
+  std::cout << table.render();
+
+  std::cout << "\nplay-out delay interpretation: each hop adds one forwarding delay, so\n"
+               "the diameter bounds the worst-case lag behind the source. The hybrid\n"
+               "overlay spends one slot on a latency-close partner and cuts the\n"
+               "diameter while the rank-matched slots keep the contribution incentive\n"
+               "(stratification width barely moves).\n";
+  return 0;
+}

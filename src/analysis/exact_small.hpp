@@ -1,0 +1,44 @@
+// Exact mate distributions for tiny n by enumerating all graphs (§5.1.1).
+//
+// For n peers there are 2^(n(n-1)/2) acceptance graphs; each occurs with
+// probability p^{edges} (1-p)^{missing}. Enumerating them and solving
+// each instance exactly gives the exact D(i, j) (Eq. 1's solution), used
+// to quantify the independence-approximation error (Figure 7: for n = 3,
+// D_exact(2,3) = p(1-p)^2 while Algorithm 2 yields an extra p^3(1-p)
+// term — 1-based peer labels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace strat::analysis {
+
+/// Exact mate-probability matrices for the stable b0-matching on
+/// G(n, p). Feasible for n <= 7 (2^21 graphs).
+class ExactSmallModel {
+ public:
+  /// Throws std::invalid_argument if n > 7, p outside [0,1], or b0 == 0.
+  ExactSmallModel(std::size_t n, double p, std::size_t b0 = 1);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Exact P(i and j are matched together) — summed over choices.
+  [[nodiscard]] double d(core::PeerId i, core::PeerId j) const;
+
+  /// Exact P(the c-th best mate of i is j), c 0-based.
+  [[nodiscard]] double d_choice(core::PeerId i, std::size_t c, core::PeerId j) const;
+
+  /// Exact P(i has at least c+1 mates).
+  [[nodiscard]] double match_mass(core::PeerId i, std::size_t c = 0) const;
+
+ private:
+  std::size_t n_;
+  std::size_t b0_;
+  std::vector<double> pair_;    // n*n
+  std::vector<double> choice_;  // n*b0*n
+  std::vector<double> mass_;    // n*b0
+};
+
+}  // namespace strat::analysis

@@ -1,0 +1,41 @@
+#include "analysis/fluid_limit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace strat::analysis {
+
+double fluid_density_alpha0(double beta, double d) {
+  if (d <= 0.0) throw std::invalid_argument("fluid_density_alpha0: d must be positive");
+  if (beta < 0.0) return 0.0;
+  return d * std::exp(-beta * d);
+}
+
+std::vector<ScaledPoint> rescale_row(const std::vector<double>& row, std::size_t i,
+                                     bool worse_only) {
+  const std::size_t n = row.size();
+  std::vector<ScaledPoint> out;
+  out.reserve(n);
+  const double dn = static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    if (worse_only && j < i) continue;
+    ScaledPoint pt;
+    pt.beta = (static_cast<double>(j) - static_cast<double>(i)) / dn;
+    pt.density = dn * row[j];
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double fluid_limit_sup_error(const std::vector<double>& best_peer_row, double d) {
+  const auto scaled = rescale_row(best_peer_row, 0, /*worse_only=*/true);
+  double sup = 0.0;
+  for (const ScaledPoint& pt : scaled) {
+    sup = std::max(sup, std::abs(pt.density - fluid_density_alpha0(pt.beta, d)));
+  }
+  return sup;
+}
+
+}  // namespace strat::analysis

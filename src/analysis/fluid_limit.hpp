@@ -1,0 +1,38 @@
+// Fluid limit of the mate distribution (§5.2.1, Conjecture 1).
+//
+// With p_n = d/n and peer i_n = 1 + floor(n·alpha), the scaled measure
+// M_{i_n}(p_n)(n·dx) converges to an absolutely continuous limit
+// M_{alpha,d}. For alpha = 0 (the best peer) the paper derives the
+// density M_{0,d}(d beta) = d e^{-beta d} d beta: the best peer's mate
+// rank offset, in units of n, is Exponential(d).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace strat::analysis {
+
+/// Density of the alpha = 0 fluid limit at offset beta (>= 0):
+/// f(beta) = d·exp(-beta·d). Throws std::invalid_argument for d <= 0.
+[[nodiscard]] double fluid_density_alpha0(double beta, double d);
+
+/// One point of a scaled empirical/analytic distribution.
+struct ScaledPoint {
+  double beta = 0.0;     // rank offset / n
+  double density = 0.0;  // n * D(i, j)
+};
+
+/// Rescales a mate-rank distribution row D(i, ·) (length n) into the
+/// fluid-limit coordinates relative to `i`: beta = (j - i)/n for j > i,
+/// density = n·D(i, j). Only offsets to *worse* peers are kept when
+/// `worse_only` (the alpha = 0 limit concerns the best peer, whose
+/// mates are all worse).
+[[nodiscard]] std::vector<ScaledPoint> rescale_row(const std::vector<double>& row, std::size_t i,
+                                                   bool worse_only = true);
+
+/// Sup-norm distance between the scaled row of the best peer and the
+/// analytic density d·e^{-beta d}, sampled at the row's support points.
+/// Used to check Conjecture 1 numerically (it decays as n grows).
+[[nodiscard]] double fluid_limit_sup_error(const std::vector<double>& best_peer_row, double d);
+
+}  // namespace strat::analysis

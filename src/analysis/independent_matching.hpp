@@ -1,0 +1,76 @@
+// Algorithm 2: the independent 1-matching model (§5.1.2).
+//
+// D(i, j) is the probability that peer i is matched with peer j in the
+// unique stable 1-matching of an Erdős–Rényi acceptance graph, under
+// Assumption 1 (the two "not with better" events are independent):
+//
+//   D(i, j) = p (1 - sum_{k<j} D(i, k)) (1 - sum_{k<i} D(j, k)),  i < j.
+//
+// Indices here are 0-based ranks (peer 0 is the best), i.e. code index
+// i corresponds to the paper's peer i+1.
+//
+// Two implementations:
+//  * full matrix — a direct transcription of Algorithm 2, O(n^2) memory;
+//    used by tests and small studies;
+//  * streaming  — O(n) memory with running prefix sums, capturing only
+//    requested rows and accumulators; used for the n = 5000 figures.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace strat::analysis {
+
+/// Full O(n^2) mate-probability matrix (Algorithm 2, verbatim).
+class Independent1Matching {
+ public:
+  /// Computes D for `n` peers and ER edge probability `p`.
+  /// Throws std::invalid_argument for p outside [0, 1].
+  Independent1Matching(std::size_t n, double p);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double edge_probability() const noexcept { return p_; }
+
+  /// D(i, j); symmetric, zero diagonal. 0-based ranks.
+  [[nodiscard]] double d(core::PeerId i, core::PeerId j) const;
+
+  /// Row D(i, ·) as a dense vector of length n.
+  [[nodiscard]] std::vector<double> row(core::PeerId i) const;
+
+  /// Match mass of peer i: sum_j D(i, j) = P(i is matched). Lemma 1
+  /// says this tends to 1 as peers are appended below.
+  [[nodiscard]] double mass(core::PeerId i) const;
+
+  /// Expected (0-based) mate rank of i conditioned on being matched.
+  [[nodiscard]] double expected_mate_rank(core::PeerId i) const;
+
+ private:
+  std::size_t n_;
+  double p_;
+  std::vector<double> d_;  // row-major n*n
+};
+
+/// What the streaming pass should collect.
+struct StreamingOptions {
+  std::size_t n = 0;
+  double p = 0.0;
+  /// Peers whose full row D(i, ·) should be captured.
+  std::vector<core::PeerId> capture_rows;
+};
+
+/// Results of the streaming pass.
+struct StreamingResult {
+  /// Captured rows, keyed by peer.
+  std::map<core::PeerId, std::vector<double>> rows;
+  /// mass[i] = P(i matched).
+  std::vector<double> mass;
+};
+
+/// O(n) memory evaluation of the same recurrence (used at n ~ 10^4+).
+/// Throws std::invalid_argument on bad options.
+[[nodiscard]] StreamingResult independent_1matching_streaming(const StreamingOptions& options);
+
+}  // namespace strat::analysis

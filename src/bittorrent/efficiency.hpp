@@ -1,0 +1,80 @@
+// Expected download/upload efficiency under Tit-for-Tat (§6, Figure 11).
+//
+// Assuming content availability is not a bottleneck (post-flash-crowd,
+// rarest-first has equalized block repartition), TFT behaves as the
+// global-ranking b-matching with the upload bandwidth *per slot* as the
+// intrinsic mark. A peer's expected download rate through its TFT
+// exchanges is  sum_{c,j} D_c(i,j) · s_j  with s_j = u_j / slots, and
+// its efficiency (share ratio within the TFT economy) is that download
+// divided by the upload it actually spends, s_i · E[matched slots] —
+// an unmatched slot uploads nothing (== b0 · s_i for bulk peers whose
+// slots are always filled).
+//
+// The module also quantifies the §6 strategy discussion: a rational
+// peer tweaking its own slot count while obedient peers keep the
+// default, evaluated exactly with the variable-capacity stable solver
+// over sampled acceptance graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bittorrent/bandwidth.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::bt {
+
+/// One peer of the analytic efficiency curve.
+struct EfficiencyPoint {
+  std::size_t rank = 0;            // 0 = best
+  double upload_kbps = 0.0;        // full upstream u_i
+  double per_slot_kbps = 0.0;      // s_i = u_i / total_slots
+  double expected_download = 0.0;  // sum_{c,j} D_c(i,j) s_j
+  double efficiency = 0.0;         // expected_download / (s_i E[matched slots])
+  double match_probability = 0.0;  // P(at least one TFT mate)
+};
+
+/// Parameters of the Figure 11 computation.
+struct EfficiencyOptions {
+  std::size_t n = 2000;          // population (result shape is n-free)
+  std::size_t tft_slots = 3;     // b0
+  std::size_t total_slots = 4;   // b0 + 1 generous/optimistic slot
+  double mean_acceptable = 20.0; // d: expected acceptable peers
+};
+
+/// Computes the expected-efficiency curve for a bandwidth distribution.
+/// Peers are the deterministic representative sample of `model`, ranked
+/// by per-slot upload. Throws std::invalid_argument on degenerate
+/// options (n < 2, slots == 0, tft_slots > total_slots, d out of range).
+[[nodiscard]] std::vector<EfficiencyPoint> expected_efficiency_curve(
+    const BandwidthModel& model, const EfficiencyOptions& options);
+
+/// One row of the §6 slot-strategy study.
+struct SlotStrategyPoint {
+  std::size_t tft_slots = 0;        // the deviator's TFT slot count
+  double per_slot_kbps = 0.0;       // upload / (tft_slots + 1)
+  double mean_download = 0.0;       // across sampled acceptance graphs
+  double efficiency = 0.0;          // mean_download / upload
+  double mean_mates = 0.0;          // average TFT mates obtained
+};
+
+/// Parameters of the strategy study: one rational peer with upload
+/// `deviator_upload_kbps` varies its slot count; the other n-1 peers
+/// keep `default_total_slots`. Each configuration is evaluated on
+/// `realizations` sampled ER acceptance graphs with the exact
+/// variable-capacity stable solver.
+struct SlotStrategyOptions {
+  std::size_t n = 500;
+  double mean_acceptable = 20.0;
+  std::size_t default_total_slots = 4;  // obedient peers: 3 TFT + 1
+  double deviator_upload_kbps = 400.0;
+  std::size_t max_tft_slots = 8;
+  std::size_t realizations = 50;
+};
+
+/// Runs the sweep over the deviator's slot count 1..max_tft_slots.
+[[nodiscard]] std::vector<SlotStrategyPoint> slot_strategy_sweep(const BandwidthModel& model,
+                                                                 const SlotStrategyOptions& options,
+                                                                 graph::Rng& rng);
+
+}  // namespace strat::bt

@@ -1,0 +1,67 @@
+#include "bittorrent/piece_picker.hpp"
+
+#include <stdexcept>
+
+namespace strat::bt {
+
+Bitfield::Bitfield(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+bool Bitfield::test(PieceId i) const {
+  if (i >= bits_) throw std::out_of_range("Bitfield::test: bad piece");
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void Bitfield::set(PieceId i) {
+  if (i >= bits_) throw std::out_of_range("Bitfield::set: bad piece");
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  if (!(words_[i >> 6] & bit)) {
+    words_[i >> 6] |= bit;
+    ++count_;
+  }
+}
+
+void Bitfield::reset(PieceId i) {
+  if (i >= bits_) throw std::out_of_range("Bitfield::reset: bad piece");
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  if (words_[i >> 6] & bit) {
+    words_[i >> 6] &= ~bit;
+    --count_;
+  }
+}
+
+bool Bitfield::interested_in(const Bitfield& other) const {
+  if (other.bits_ != bits_) throw std::invalid_argument("Bitfield::interested_in: size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (other.words_[w] & ~words_[w]) return true;
+  }
+  return false;
+}
+
+PiecePicker::PiecePicker(std::size_t num_pieces) : availability_(num_pieces, 0) {}
+
+void PiecePicker::add_availability(PieceId piece) { ++availability_.at(piece); }
+
+std::uint32_t PiecePicker::availability(PieceId piece) const { return availability_.at(piece); }
+
+std::optional<PieceId> PiecePicker::pick_rarest(const Bitfield& local, const Bitfield& remote,
+                                                graph::Rng& rng) const {
+  std::optional<PieceId> best;
+  std::uint32_t best_avail = 0;
+  std::uint64_t ties = 0;
+  for (PieceId piece = 0; piece < availability_.size(); ++piece) {
+    if (local.test(piece) || !remote.test(piece)) continue;
+    const std::uint32_t avail = availability_[piece];
+    if (!best || avail < best_avail) {
+      best = piece;
+      best_avail = avail;
+      ties = 1;
+    } else if (avail == best_avail) {
+      // Reservoir-style uniform tie-breaking.
+      ++ties;
+      if (rng.below(ties) == 0) best = piece;
+    }
+  }
+  return best;
+}
+
+}  // namespace strat::bt

@@ -1,0 +1,66 @@
+// Piece bookkeeping and rarest-first selection.
+//
+// BitTorrent's "download rarest first" policy equalizes block
+// repartition across the swarm, which is exactly the paper's §6
+// assumption that content availability does not constrain the
+// acceptance graph in the post-flash-crowd phase. The swarm simulator
+// uses this module for per-peer piece bitfields and piece selection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace strat::bt {
+
+using PieceId = std::uint32_t;
+
+/// Compact piece bitfield.
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(std::size_t bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool test(PieceId i) const;
+  void set(PieceId i);
+  void reset(PieceId i);
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// True when every piece is held.
+  [[nodiscard]] bool complete() const noexcept { return count_ == bits_; }
+  /// True if `other` holds at least one piece this bitfield lacks
+  /// (the BitTorrent "interested" predicate).
+  [[nodiscard]] bool interested_in(const Bitfield& other) const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Tracks global piece availability and picks rarest-first.
+class PiecePicker {
+ public:
+  explicit PiecePicker(std::size_t num_pieces);
+
+  /// Registers that one more peer holds `piece`.
+  void add_availability(PieceId piece);
+
+  /// Number of holders of `piece`.
+  [[nodiscard]] std::uint32_t availability(PieceId piece) const;
+
+  /// Chooses the rarest piece that `remote` has and `local` lacks; ties
+  /// broken uniformly at random. nullopt when the remote has nothing
+  /// useful. O(num_pieces).
+  [[nodiscard]] std::optional<PieceId> pick_rarest(const Bitfield& local, const Bitfield& remote,
+                                                   graph::Rng& rng) const;
+
+ private:
+  std::vector<std::uint32_t> availability_;
+};
+
+}  // namespace strat::bt

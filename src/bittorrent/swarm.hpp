@@ -1,0 +1,172 @@
+// Round-based BitTorrent swarm simulator (§6 validation substrate).
+//
+// Simulates a swarm at the choke-interval granularity (10 s rounds):
+// every round each peer runs its TFT choker, then upload capacity flows
+// from unchokers to interested unchokees, with bytes applied to pieces
+// chosen rarest-first. The simulator exists to check, at the protocol
+// level, the matching-model predictions the paper derives analytically:
+// TFT exchanges stratify by bandwidth, and per-peer download rates
+// follow the Figure 11 efficiency curve.
+//
+// In post-flash-crowd mode each leecher starts with a uniformly random
+// subset of pieces (the paper's assumption that rarest-first has
+// already equalized block repartition); flash-crowd mode starts all
+// leechers empty with `seeds` complete peers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bittorrent/choker.hpp"
+#include "bittorrent/piece_picker.hpp"
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::bt {
+
+/// Swarm parameters.
+struct SwarmConfig {
+  std::size_t num_peers = 200;    // leechers (seeds are extra)
+  std::size_t seeds = 1;          // initial complete peers
+  std::size_t num_pieces = 256;
+  double piece_kb = 256.0;        // KB per piece
+  std::size_t tft_slots = 3;      // regular unchoke slots
+  std::size_t optimistic_rounds = 3;
+  double round_seconds = 10.0;
+  double neighbor_degree = 20.0;  // tracker-provided mean degree
+  bool post_flashcrowd = true;
+  double initial_completion = 0.5;  // post-flash-crowd starting fraction
+  bool stay_as_seed = true;         // finished leechers keep uploading
+  /// Upload capacity of the initial seeds; 0 = median leecher capacity.
+  double seed_upload_kbps = 0.0;
+  /// Exponential smoothing of the per-neighbor rate estimate the choker
+  /// ranks on: score = alpha * last_round + (1 - alpha) * previous.
+  /// 1.0 reproduces the raw last-interval estimate; the reference client
+  /// effectively averages over ~2 intervals (alpha ~ 0.5).
+  double rate_smoothing = 0.5;
+};
+
+/// Per-peer accounting, exposed for metrics.
+struct PeerStats {
+  double upload_kbps = 0.0;     // capacity
+  double uploaded_kb = 0.0;     // total sent
+  double downloaded_kb = 0.0;   // total received
+  std::size_t pieces = 0;       // currently held
+  double completion_round = -1.0;  // first round with all pieces (-1: not yet)
+  bool seed = false;            // started as a seed
+};
+
+/// Swarm-level stratification summary, accumulated over every elapsed
+/// round while both endpoints were still downloading.
+struct StratificationReport {
+  /// Spearman correlation between peers' bandwidth rank and the mean
+  /// bandwidth rank of their *reciprocated* TFT partners. 1 = perfect
+  /// stratification.
+  double partner_rank_correlation = 0.0;
+  /// Mean absolute rank offset between reciprocated TFT partners,
+  /// normalized by the number of leechers (0..1), weighted by how many
+  /// rounds each pair exchanged.
+  double mean_normalized_offset = 0.0;
+  /// Number of distinct reciprocated (mutual-unchoke) TFT pairs seen.
+  std::size_t reciprocated_pairs = 0;
+};
+
+/// The simulator.
+class Swarm {
+ public:
+  /// `upload_kbps` has one entry per leecher; seeds reuse the top
+  /// capacity. Throws std::invalid_argument on inconsistent inputs.
+  Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::Rng& rng);
+
+  /// Advances one choke interval.
+  void run_round();
+
+  /// Advances `rounds` intervals.
+  void run(std::size_t rounds);
+
+  [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
+  [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
+  [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
+
+  /// Leechers that hold every piece.
+  [[nodiscard]] std::size_t completed_leechers() const;
+
+  /// Mean download rate (kbps) of leecher p over elapsed rounds.
+  [[nodiscard]] double mean_download_kbps(core::PeerId p) const;
+
+  /// Mean download rate of p over its *leeching* phase only (until it
+  /// completed, or until now if still downloading). The per-peer QoS
+  /// figure predicted by the §6 efficiency model.
+  [[nodiscard]] double leech_download_kbps(core::PeerId p) const;
+
+  /// Stratification metrics accumulated since construction (or the
+  /// last reset_stratification()).
+  [[nodiscard]] StratificationReport stratification() const;
+
+  /// Clears the accumulated mutual-unchoke history, so stratification()
+  /// reflects a fresh measurement window (e.g. after a burn-in phase).
+  void reset_stratification() { mutual_rounds_.clear(); }
+
+  /// Reciprocated TFT pairs of the last round (mutual unchokes between
+  /// two leechers), as (better peer, worse peer) by bandwidth.
+  [[nodiscard]] std::vector<std::pair<core::PeerId, core::PeerId>> reciprocated_pairs() const;
+
+  /// True iff p finished and left the swarm (stay_as_seed == false).
+  [[nodiscard]] bool departed(core::PeerId p) const { return departed_.at(p); }
+
+  /// Piece-availability dispersion across the swarm. The §6 assumption
+  /// ("content availability is not a bottleneck") holds when rarest-
+  /// first has equalized block repartition — i.e. when the coefficient
+  /// of variation is small.
+  struct AvailabilityStats {
+    double mean = 0.0;                  // average copies per piece
+    std::uint32_t min = 0;
+    std::uint32_t max = 0;
+    double coefficient_of_variation = 0.0;
+  };
+  [[nodiscard]] AvailabilityStats availability_stats() const;
+
+  /// Neighbor set (tracker overlay) of peer p.
+  [[nodiscard]] std::span<const graph::Vertex> neighbors(core::PeerId p) const {
+    return overlay_.neighbors(p);
+  }
+
+ private:
+  void choke_step();
+  void transfer_step();
+  void complete_piece(core::PeerId p, PieceId piece);
+  [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
+
+  SwarmConfig config_;
+  graph::Rng& rng_;
+  graph::Graph overlay_;
+  PiecePicker picker_;
+  std::vector<PeerStats> stats_;
+  std::vector<Bitfield> have_;
+  std::vector<TftChoker> chokers_;
+  std::vector<std::vector<core::PeerId>> unchoked_;  // per peer, this round
+  // received_rate_[p] maps neighbor -> smoothed KB/round received
+  // (EWMA, see SwarmConfig::rate_smoothing); received_now_ accumulates
+  // the current round before being folded in.
+  std::vector<std::unordered_map<core::PeerId, double>> received_rate_;
+  std::vector<std::unordered_map<core::PeerId, double>> received_now_;
+  // sent_rate_[p]: neighbor -> smoothed KB/round sent (seed policy).
+  std::vector<std::unordered_map<core::PeerId, double>> sent_rate_;
+  std::vector<std::unordered_map<core::PeerId, double>> sent_now_;
+  // Partial piece progress: per peer, piece -> KB accumulated.
+  std::vector<std::unordered_map<PieceId, double>> partial_;
+  // In-flight target piece per (receiver, sender) to avoid thrashing.
+  std::vector<std::unordered_map<core::PeerId, PieceId>> inflight_;
+  std::vector<std::size_t> bandwidth_rank_;  // leecher -> rank by capacity
+  std::vector<bool> departed_;
+  // Rounds each leecher pair spent mutually unchoked while both were
+  // still downloading; key = (min id << 32) | max id.
+  std::unordered_map<std::uint64_t, std::uint32_t> mutual_rounds_;
+  std::size_t round_ = 0;
+  std::size_t leechers_ = 0;
+};
+
+}  // namespace strat::bt

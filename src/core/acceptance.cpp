@@ -1,0 +1,91 @@
+#include "core/acceptance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strat::core {
+
+ExplicitAcceptance::ExplicitAcceptance(const graph::Graph& g, const GlobalRanking& ranking)
+    : ranking_(&ranking) {
+  if (g.order() > ranking.size()) {
+    throw std::invalid_argument("ExplicitAcceptance: graph larger than ranking");
+  }
+  ordered_.resize(g.order());
+  for (PeerId p = 0; p < g.order(); ++p) {
+    const auto nbrs = g.neighbors(p);
+    ordered_[p].assign(nbrs.begin(), nbrs.end());
+    std::sort(ordered_[p].begin(), ordered_[p].end(),
+              [&](PeerId a, PeerId b) { return ranking.prefers(a, b); });
+  }
+}
+
+bool ExplicitAcceptance::accepts(PeerId p, PeerId q) const {
+  if (p == q || p >= size() || q >= size()) return false;
+  // Scan the shorter list; they are preference-sorted, not id-sorted,
+  // so use a preference-ordered binary search.
+  const auto& list = ordered_[p].size() <= ordered_[q].size() ? ordered_[p] : ordered_[q];
+  const PeerId needle = ordered_[p].size() <= ordered_[q].size() ? q : p;
+  auto it = std::lower_bound(list.begin(), list.end(), needle, [&](PeerId a, PeerId b) {
+    return ranking_->prefers(a, b);
+  });
+  return it != list.end() && *it == needle;
+}
+
+void ExplicitAcceptance::add_edge(PeerId p, PeerId q) {
+  if (p == q) throw std::invalid_argument("ExplicitAcceptance::add_edge: loop");
+  if (p >= size() || q >= size()) {
+    throw std::invalid_argument("ExplicitAcceptance::add_edge: peer out of range");
+  }
+  if (accepts(p, q)) throw std::invalid_argument("ExplicitAcceptance::add_edge: duplicate");
+  auto insert_sorted = [&](PeerId owner, PeerId other) {
+    auto& list = ordered_[owner];
+    auto it = std::lower_bound(list.begin(), list.end(), other, [&](PeerId a, PeerId b) {
+      return ranking_->prefers(a, b);
+    });
+    list.insert(it, other);
+  };
+  insert_sorted(p, q);
+  insert_sorted(q, p);
+}
+
+void ExplicitAcceptance::isolate(PeerId p) {
+  if (p >= size()) throw std::invalid_argument("ExplicitAcceptance::isolate: out of range");
+  for (PeerId q : ordered_[p]) {
+    auto& list = ordered_[q];
+    list.erase(std::remove(list.begin(), list.end(), p), list.end());
+  }
+  ordered_[p].clear();
+}
+
+PeerId ExplicitAcceptance::add_peer() {
+  // Callers append the new peer's score to the ranking first, so the
+  // ranking must already cover the id we are about to hand out.
+  if (ordered_.size() >= ranking_->size()) {
+    throw std::invalid_argument("ExplicitAcceptance::add_peer: append the score first");
+  }
+  ordered_.emplace_back();
+  return static_cast<PeerId>(ordered_.size() - 1);
+}
+
+CompleteAcceptance::CompleteAcceptance(std::size_t n, const GlobalRanking& ranking)
+    : n_(n), ranking_(&ranking) {
+  if (n > ranking.size()) {
+    throw std::invalid_argument("CompleteAcceptance: n larger than ranking");
+  }
+}
+
+std::size_t CompleteAcceptance::degree(PeerId p) const {
+  if (p >= n_) throw std::out_of_range("CompleteAcceptance::degree: bad peer");
+  return n_ == 0 ? 0 : n_ - 1;
+}
+
+PeerId CompleteAcceptance::neighbor(PeerId p, std::size_t i) const {
+  if (p >= n_ || i + 1 >= n_ + 1 || i >= degree(p)) {
+    throw std::out_of_range("CompleteAcceptance::neighbor: bad index");
+  }
+  const Rank own = ranking_->rank_of(p);
+  const Rank r = i < own ? static_cast<Rank>(i) : static_cast<Rank>(i + 1);
+  return ranking_->peer_at(r);
+}
+
+}  // namespace strat::core

@@ -1,0 +1,105 @@
+// Acceptance graphs: who may collaborate with whom (§2).
+//
+// A pair (p, q) is in the acceptance graph iff both peers are willing to
+// collaborate; acceptability is symmetric. Two implementations:
+//
+//  * ExplicitAcceptance — wraps an arbitrary undirected graph (e.g. an
+//    Erdős–Rényi sample) and keeps each peer's acceptable list in
+//    *preference order* (best first, per the global ranking), which is
+//    what every initiative strategy scans. Mutable, to support churn.
+//
+//  * CompleteAcceptance — the §4 toy model where everybody accepts
+//    everybody, stored implicitly in O(1) memory.
+//
+// The interface exposes index-based access in preference order so the
+// strategies (best-mate / decremental / random) need no allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace strat::core {
+
+/// Abstract symmetric acceptance relation with preference-ordered access.
+class AcceptanceGraph {
+ public:
+  virtual ~AcceptanceGraph() = default;
+
+  /// Number of peers.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Symmetric acceptability test; false for p == q.
+  [[nodiscard]] virtual bool accepts(PeerId p, PeerId q) const = 0;
+
+  /// Number of peers acceptable to p.
+  [[nodiscard]] virtual std::size_t degree(PeerId p) const = 0;
+
+  /// i-th acceptable peer of p in preference order (0 = most preferred).
+  /// Requires i < degree(p).
+  [[nodiscard]] virtual PeerId neighbor(PeerId p, std::size_t i) const = 0;
+};
+
+/// Acceptance relation backed by an explicit graph, preference-ordered.
+///
+/// Holds a non-owning pointer to the ranking used for ordering; the
+/// ranking must outlive this object. Supports the mutations churn needs.
+class ExplicitAcceptance final : public AcceptanceGraph {
+ public:
+  /// Builds from an undirected graph; vertex v of `g` is peer v.
+  /// Sorts every adjacency list by preference (O(E log d)).
+  ExplicitAcceptance(const graph::Graph& g, const GlobalRanking& ranking);
+
+  [[nodiscard]] std::size_t size() const override { return ordered_.size(); }
+  [[nodiscard]] bool accepts(PeerId p, PeerId q) const override;
+  [[nodiscard]] std::size_t degree(PeerId p) const override { return ordered_[p].size(); }
+  [[nodiscard]] PeerId neighbor(PeerId p, std::size_t i) const override {
+    return ordered_[p][i];
+  }
+
+  /// Adds a mutual acceptance edge, keeping both lists preference-sorted.
+  /// Throws std::invalid_argument on loops, out-of-range ids, or
+  /// duplicate edges.
+  void add_edge(PeerId p, PeerId q);
+
+  /// Removes all of p's acceptances (both directions). Used on departure.
+  void isolate(PeerId p);
+
+  /// Appends one fresh peer with no acceptances; returns its id. The
+  /// ranking must already contain a score for it.
+  PeerId add_peer();
+
+  /// Preference-ordered acceptable list of p (best first).
+  [[nodiscard]] const std::vector<PeerId>& ordered_neighbors(PeerId p) const {
+    return ordered_[p];
+  }
+
+ private:
+  const GlobalRanking* ranking_;  // non-owning; must outlive *this
+  std::vector<std::vector<PeerId>> ordered_;
+};
+
+/// Implicit complete acceptance graph on n peers (§4 toy model).
+///
+/// Preference order is simply rank order with self skipped.
+class CompleteAcceptance final : public AcceptanceGraph {
+ public:
+  CompleteAcceptance(std::size_t n, const GlobalRanking& ranking);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] bool accepts(PeerId p, PeerId q) const override {
+    return p != q && p < n_ && q < n_;
+  }
+  [[nodiscard]] std::size_t degree(PeerId p) const override;
+  [[nodiscard]] PeerId neighbor(PeerId p, std::size_t i) const override;
+
+ private:
+  std::size_t n_;
+  const GlobalRanking* ranking_;  // non-owning; must outlive *this
+};
+
+}  // namespace strat::core

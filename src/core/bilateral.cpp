@@ -1,0 +1,137 @@
+#include "core/bilateral.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace strat::core {
+
+std::size_t BilateralAssignment::connection_count() const {
+  std::size_t total = 0;
+  for (const auto& list : serves) total += list.size();
+  return total;
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+double server_priority(const GlobalRanking& ranking, ServerPolicy policy, std::uint64_t salt,
+                       PeerId server, PeerId client) {
+  if (policy == ServerPolicy::kGlobalRank) return ranking.score(client);
+  const std::uint64_t h =
+      mix(salt ^ (static_cast<std::uint64_t>(server) << 32) ^ static_cast<std::uint64_t>(client));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+BilateralAssignment bilateral_assignment(const AcceptanceGraph& acc,
+                                         const GlobalRanking& ranking,
+                                         const BilateralConfig& config, graph::Rng& rng) {
+  if (config.upload_slots == 0 || config.download_slots == 0) {
+    throw std::invalid_argument("bilateral_assignment: slot counts must be >= 1");
+  }
+  const std::size_t n = acc.size();
+  BilateralAssignment out;
+  out.serves.resize(n);
+  out.sources.resize(n);
+  out.priority_salt = rng();
+
+  auto priority = [&](PeerId server, PeerId client) {
+    return server_priority(ranking, config.policy, out.priority_salt, server, client);
+  };
+
+  // Deferred acceptance: clients walk their preference-ordered source
+  // lists (best source first); servers keep the top `upload_slots`
+  // proposals by priority and bump the weakest on overflow.
+  std::vector<std::size_t> cursor(n, 0);
+  std::deque<PeerId> pending;
+  for (PeerId p = 0; p < n; ++p) pending.push_back(p);
+
+  while (!pending.empty()) {
+    const PeerId p = pending.front();
+    pending.pop_front();
+    while (out.sources[p].size() < config.download_slots && cursor[p] < acc.degree(p)) {
+      const PeerId q = acc.neighbor(p, cursor[p]++);
+      auto& accepted = out.serves[q];
+      if (accepted.size() < config.upload_slots) {
+        accepted.push_back(p);
+        out.sources[p].push_back(q);
+        continue;
+      }
+      // Find the weakest currently accepted client of q.
+      std::size_t weakest = 0;
+      for (std::size_t i = 1; i < accepted.size(); ++i) {
+        if (priority(q, accepted[i]) < priority(q, accepted[weakest])) weakest = i;
+      }
+      if (priority(q, p) > priority(q, accepted[weakest])) {
+        const PeerId bumped = accepted[weakest];
+        accepted[weakest] = p;
+        out.sources[p].push_back(q);
+        auto& bumped_sources = out.sources[bumped];
+        bumped_sources.erase(std::find(bumped_sources.begin(), bumped_sources.end(), q));
+        pending.push_back(bumped);  // resumes from its cursor
+      }
+      // else: rejected; continue down the list.
+    }
+  }
+  return out;
+}
+
+bool bilateral_is_stable(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                         const BilateralConfig& config, const BilateralAssignment& assignment) {
+  const std::size_t n = acc.size();
+  auto priority = [&](PeerId server, PeerId client) {
+    return server_priority(ranking, config.policy, assignment.priority_salt, server, client);
+  };
+  for (PeerId p = 0; p < n; ++p) {
+    // The worst current source of p by client preference (global score).
+    const auto& sources = assignment.sources[p];
+    const bool client_has_room = sources.size() < config.download_slots;
+    PeerId worst_source = kNoPeer;
+    for (PeerId s : sources) {
+      if (worst_source == kNoPeer || ranking.prefers(worst_source, s)) worst_source = s;
+    }
+    for (std::size_t i = 0; i < acc.degree(p); ++i) {
+      const PeerId q = acc.neighbor(p, i);
+      if (std::find(sources.begin(), sources.end(), q) != sources.end()) continue;
+      const bool client_wants =
+          client_has_room || (worst_source != kNoPeer && ranking.prefers(q, worst_source));
+      if (!client_wants) continue;
+      const auto& accepted = assignment.serves[q];
+      bool server_wants = accepted.size() < config.upload_slots;
+      if (!server_wants) {
+        for (PeerId c : accepted) {
+          if (priority(q, p) > priority(q, c)) {
+            server_wants = true;
+            break;
+          }
+        }
+      }
+      if (server_wants) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> bilateral_download(const BilateralAssignment& assignment,
+                                       const std::vector<double>& per_slot_weight) {
+  if (per_slot_weight.size() != assignment.size()) {
+    throw std::invalid_argument("bilateral_download: weight per peer required");
+  }
+  std::vector<double> download(assignment.size(), 0.0);
+  for (PeerId p = 0; p < assignment.size(); ++p) {
+    for (PeerId q : assignment.sources[p]) download[p] += per_slot_weight[q];
+  }
+  return download;
+}
+
+}  // namespace strat::core

@@ -1,0 +1,94 @@
+// Bilateral (eDonkey-style) exchange: the baseline the paper contrasts
+// with BitTorrent (§2).
+//
+// "A protocol like eDonkey optimizes independently two preference lists
+// on the server and on the client sides" — whom I upload to is decided
+// separately from whom I download from, with no reciprocity coupling.
+// This module implements that baseline as a many-to-many deferred-
+// acceptance matching:
+//
+//  * client side: every peer proposes to its preferred sources (by the
+//    global ranking — faster sources first) for up to
+//    `download_slots` download connections;
+//  * server side: every source keeps the best `upload_slots` proposals
+//    according to its *server policy* and rejects the rest. Rejected
+//    clients propose further down their list.
+//
+// Two server policies bound the design space:
+//  * kRandomQueue — eDonkey's arrival-queue flavour: server priority is
+//    uncorrelated with the client's rank. Download becomes independent
+//    of upload: free-riding is viable and no stratification appears.
+//  * kGlobalRank — a credit-style policy preferring high-rank clients:
+//    reciprocity is re-introduced through the ranking and the outcome
+//    stratifies like the TFT matching.
+//
+// Deferred acceptance with responsive preferences converges to the
+// client-optimal stable assignment in O(E) proposals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/ranking.hpp"
+#include "core/types.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+
+/// How a server ranks the clients asking for one of its upload slots.
+enum class ServerPolicy {
+  kRandomQueue,
+  kGlobalRank,
+};
+
+/// Parameters of the bilateral exchange.
+struct BilateralConfig {
+  std::uint32_t upload_slots = 4;
+  std::uint32_t download_slots = 4;
+  ServerPolicy policy = ServerPolicy::kRandomQueue;
+};
+
+/// The resulting directed assignment.
+struct BilateralAssignment {
+  /// serves[p] = clients peer p uploads to (<= upload_slots each).
+  std::vector<std::vector<PeerId>> serves;
+  /// sources[p] = servers peer p downloads from (<= download_slots).
+  std::vector<std::vector<PeerId>> sources;
+  /// Salt of the random-queue priority table (so stability checks can
+  /// reconstruct the server-side preferences).
+  std::uint64_t priority_salt = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return serves.size(); }
+  /// Total directed serve relations.
+  [[nodiscard]] std::size_t connection_count() const;
+};
+
+/// The priority server q gives client p: under kGlobalRank the client's
+/// intrinsic score; under kRandomQueue a deterministic pseudo-random
+/// value derived from (salt, q, p) — rank-independent, as in an
+/// arrival queue.
+[[nodiscard]] double server_priority(const GlobalRanking& ranking, ServerPolicy policy,
+                                     std::uint64_t salt, PeerId server, PeerId client);
+
+/// Runs deferred acceptance over the acceptance graph. `rng` seeds the
+/// random-queue priority salt (unused under kGlobalRank).
+/// Throws std::invalid_argument if either slot count is zero.
+[[nodiscard]] BilateralAssignment bilateral_assignment(const AcceptanceGraph& acc,
+                                                       const GlobalRanking& ranking,
+                                                       const BilateralConfig& config,
+                                                       graph::Rng& rng);
+
+/// True iff no client-server pair blocks the assignment: the client
+/// wants another source (free download slot or a worse current source)
+/// and the server would accept it under its priority order.
+[[nodiscard]] bool bilateral_is_stable(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                                       const BilateralConfig& config,
+                                       const BilateralAssignment& assignment);
+
+/// Convenience: per-peer expected download rate given per-slot upload
+/// weights (weight[q] credited for each serve q -> p).
+[[nodiscard]] std::vector<double> bilateral_download(const BilateralAssignment& assignment,
+                                                     const std::vector<double>& per_slot_weight);
+
+}  // namespace strat::core

@@ -1,0 +1,60 @@
+#include "core/blocking.hpp"
+
+namespace strat::core {
+
+bool wishes(const Matching& m, const GlobalRanking& ranking, PeerId q, PeerId p) {
+  if (!m.is_full(q)) return true;
+  return ranking.prefers(p, m.worst_mate(q));
+}
+
+bool is_blocking_pair(const AcceptanceGraph& acc, const GlobalRanking& ranking, const Matching& m,
+                      PeerId p, PeerId q) {
+  if (p == q) return false;
+  if (!acc.accepts(p, q)) return false;
+  if (m.are_matched(p, q)) return false;
+  return wishes(m, ranking, p, q) && wishes(m, ranking, q, p);
+}
+
+void execute_blocking_pair(const GlobalRanking& ranking, Matching& m, PeerId p, PeerId q) {
+  if (m.is_full(p)) m.disconnect(p, m.worst_mate(p));
+  if (m.is_full(q)) m.disconnect(q, m.worst_mate(q));
+  m.connect(p, q, ranking);
+}
+
+std::optional<std::pair<PeerId, PeerId>> find_blocking_pair(const AcceptanceGraph& acc,
+                                                            const GlobalRanking& ranking,
+                                                            const Matching& m) {
+  for (PeerId p = 0; p < acc.size(); ++p) {
+    const std::size_t deg = acc.degree(p);
+    for (std::size_t i = 0; i < deg; ++i) {
+      const PeerId q = acc.neighbor(p, i);
+      // Preference-ordered scan: once p itself no longer wishes q (q is
+      // no better than p's worst mate and p is full), later neighbors
+      // are even worse — stop.
+      if (!wishes(m, ranking, p, q)) break;
+      if (!m.are_matched(p, q) && wishes(m, ranking, q, p)) return std::make_pair(p, q);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<PeerId, PeerId>> all_blocking_pairs(const AcceptanceGraph& acc,
+                                                          const GlobalRanking& ranking,
+                                                          const Matching& m) {
+  std::vector<std::pair<PeerId, PeerId>> out;
+  for (PeerId p = 0; p < acc.size(); ++p) {
+    const std::size_t deg = acc.degree(p);
+    for (std::size_t i = 0; i < deg; ++i) {
+      const PeerId q = acc.neighbor(p, i);
+      if (q < p) continue;  // report each pair once
+      if (is_blocking_pair(acc, ranking, m, p, q)) out.emplace_back(p, q);
+    }
+  }
+  return out;
+}
+
+bool is_stable(const AcceptanceGraph& acc, const GlobalRanking& ranking, const Matching& m) {
+  return !find_blocking_pair(acc, ranking, m).has_value();
+}
+
+}  // namespace strat::core

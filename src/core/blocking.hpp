@@ -1,0 +1,45 @@
+// Blocking pairs and stability (§2).
+//
+// A blocking pair is two acceptable, unmatched peers who each either
+// have a free slot or prefer the other to their worst current mate. A
+// configuration with no blocking pair is stable — a Nash equilibrium.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+
+namespace strat::core {
+
+/// True iff q would accept a (new) collaboration with p: q has a free
+/// slot, or q strictly prefers p to its worst current mate.
+[[nodiscard]] bool wishes(const Matching& m, const GlobalRanking& ranking, PeerId q, PeerId p);
+
+/// True iff {p, q} is a blocking pair of `m` under `acc`/`ranking`.
+[[nodiscard]] bool is_blocking_pair(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                                    const Matching& m, PeerId p, PeerId q);
+
+/// Establishes the collaboration {p, q}, dropping each side's worst
+/// current mate first if it has no free slot (the §2 "even if it means
+/// dropping one of their current collaborations" semantics).
+/// Precondition: is_blocking_pair(p, q) — not re-checked here.
+void execute_blocking_pair(const GlobalRanking& ranking, Matching& m, PeerId p, PeerId q);
+
+/// Finds any blocking pair, or nullopt if the configuration is stable.
+/// O(sum_p degree_acc(p) ) worst case.
+[[nodiscard]] std::optional<std::pair<PeerId, PeerId>> find_blocking_pair(
+    const AcceptanceGraph& acc, const GlobalRanking& ranking, const Matching& m);
+
+/// Lists every blocking pair (p < q by id). Intended for tests/metrics.
+[[nodiscard]] std::vector<std::pair<PeerId, PeerId>> all_blocking_pairs(
+    const AcceptanceGraph& acc, const GlobalRanking& ranking, const Matching& m);
+
+/// True iff the configuration admits no blocking pair.
+[[nodiscard]] bool is_stable(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                             const Matching& m);
+
+}  // namespace strat::core

@@ -1,0 +1,95 @@
+#include "core/disorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace strat::core {
+
+namespace {
+
+/// 1-based mate rank, or n+1 when unmatched.
+double sigma(const Matching& c, const GlobalRanking& ranking, PeerId i) {
+  const PeerId mate = c.mate(i);
+  if (mate == kNoPeer) return static_cast<double>(ranking.size() + 1);
+  return static_cast<double>(ranking.rank_of(mate)) + 1.0;
+}
+
+}  // namespace
+
+double disorder_1matching(const Matching& c1, const Matching& c2, const GlobalRanking& ranking) {
+  if (c1.size() != c2.size() || c1.size() != ranking.size()) {
+    throw std::invalid_argument("disorder_1matching: size mismatch");
+  }
+  const std::size_t n = c1.size();
+  if (n == 0) return 0.0;
+  for (PeerId p = 0; p < n; ++p) {
+    if (c1.degree(p) > 1 || c2.degree(p) > 1) {
+      throw std::invalid_argument("disorder_1matching: not a 1-matching");
+    }
+  }
+  double sum = 0.0;
+  for (PeerId i = 0; i < n; ++i) {
+    sum += std::abs(sigma(c1, ranking, i) - sigma(c2, ranking, i));
+  }
+  const double dn = static_cast<double>(n);
+  return sum * 2.0 / (dn * (dn + 1.0));
+}
+
+double disorder_bmatching(const Matching& c1, const Matching& c2, const GlobalRanking& ranking) {
+  if (c1.size() != c2.size() || c1.size() != ranking.size()) {
+    throw std::invalid_argument("disorder_bmatching: size mismatch");
+  }
+  const std::size_t n = c1.size();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  double total_capacity = 0.0;
+  const double unmatched = static_cast<double>(n + 1);
+  for (PeerId i = 0; i < n; ++i) {
+    if (c1.capacity(i) != c2.capacity(i)) {
+      throw std::invalid_argument("disorder_bmatching: capacity mismatch");
+    }
+    const auto m1 = c1.mates(i);
+    const auto m2 = c2.mates(i);
+    const std::size_t b = c1.capacity(i);
+    total_capacity += static_cast<double>(b);
+    for (std::size_t k = 0; k < b; ++k) {
+      const double r1 =
+          k < m1.size() ? static_cast<double>(ranking.rank_of(m1[k])) + 1.0 : unmatched;
+      const double r2 =
+          k < m2.size() ? static_cast<double>(ranking.rank_of(m2[k])) + 1.0 : unmatched;
+      sum += std::abs(r1 - r2);
+    }
+  }
+  if (total_capacity == 0.0) return 0.0;
+  return sum * 2.0 / (total_capacity * static_cast<double>(n + 1));
+}
+
+double disorder_1matching_active(const Matching& c1, const Matching& c2,
+                                 const GlobalRanking& ranking,
+                                 const std::vector<PeerId>& active) {
+  const std::size_t n = active.size();
+  if (n == 0) return 0.0;
+  // Rank positions within the active population, best first.
+  std::vector<PeerId> sorted = active;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](PeerId a, PeerId b) { return ranking.prefers(a, b); });
+  // Sparse map id -> active rank (1-based); 0 = inactive.
+  std::vector<std::uint32_t> active_rank(ranking.size(), 0);
+  for (std::size_t r = 0; r < sorted.size(); ++r) {
+    active_rank[sorted[r]] = static_cast<std::uint32_t>(r + 1);
+  }
+  const double unmatched = static_cast<double>(n + 1);
+  auto sig = [&](const Matching& c, PeerId i) {
+    const PeerId mate = i < c.size() ? c.mate(i) : kNoPeer;
+    if (mate == kNoPeer || active_rank[mate] == 0) return unmatched;
+    return static_cast<double>(active_rank[mate]);
+  };
+  double sum = 0.0;
+  for (PeerId i : active) sum += std::abs(sig(c1, i) - sig(c2, i));
+  const double dn = static_cast<double>(n);
+  return sum * 2.0 / (dn * (dn + 1.0));
+}
+
+}  // namespace strat::core

@@ -1,0 +1,43 @@
+// The disorder metric of §3.
+//
+// For 1-matchings the paper defines the distance between two
+// configurations C1, C2 as
+//
+//   D(C1, C2) = sum_i |sigma(C1,i) - sigma(C2,i)| * 2 / (n(n+1))
+//
+// where sigma(C, i) is the (1-based) rank of i's mate, or n+1 when i is
+// unmatched. D is normalized: a perfect matching is at distance 1 from
+// the empty configuration. "Disorder" is the distance between the
+// current configuration and the stable one.
+//
+// For b-matchings we provide a documented generalization (DESIGN.md §6):
+// per-peer mate-rank vectors padded to b(p) with n+1, compared slotwise,
+// normalized by 2/(B(n+1)) with B = sum b(p); it coincides with the
+// paper's metric when b == 1.
+#pragma once
+
+#include <vector>
+
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+
+namespace strat::core {
+
+/// Paper metric for 1-matchings. Throws std::invalid_argument if sizes
+/// differ or either configuration has a peer with more than one mate.
+[[nodiscard]] double disorder_1matching(const Matching& c1, const Matching& c2,
+                                        const GlobalRanking& ranking);
+
+/// Generalized slotwise metric for b-matchings (see header comment).
+/// Requires equal sizes and equal capacity vectors.
+[[nodiscard]] double disorder_bmatching(const Matching& c1, const Matching& c2,
+                                        const GlobalRanking& ranking);
+
+/// Restricted variant used under churn: compares only the peers listed
+/// in `active` (ranks are positions within the active set, best first;
+/// mates outside `active` count as unmatched).
+[[nodiscard]] double disorder_1matching_active(const Matching& c1, const Matching& c2,
+                                               const GlobalRanking& ranking,
+                                               const std::vector<PeerId>& active);
+
+}  // namespace strat::core

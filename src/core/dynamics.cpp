@@ -1,0 +1,98 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strat::core {
+
+DynamicsEngine::DynamicsEngine(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                               std::vector<std::uint32_t> capacities, Strategy strategy,
+                               graph::Rng& rng)
+    : acc_(acc),
+      ranking_(ranking),
+      strategy_(strategy),
+      rng_(rng),
+      current_(capacities),
+      stable_(stable_configuration(acc, ranking, std::move(capacities))),
+      cursors_(acc.size(), 0) {
+  if (acc.size() != ranking.size()) {
+    throw std::invalid_argument("DynamicsEngine: acceptance/ranking size mismatch");
+  }
+  for (PeerId p = 0; p < current_.size(); ++p) {
+    if (current_.capacity(p) != 1) {
+      all_unit_capacity_ = false;
+      break;
+    }
+  }
+}
+
+void DynamicsEngine::set_current(Matching m) {
+  if (m.size() != current_.size()) {
+    throw std::invalid_argument("set_current: size mismatch");
+  }
+  for (PeerId p = 0; p < m.size(); ++p) {
+    if (m.capacity(p) != current_.capacity(p)) {
+      throw std::invalid_argument("set_current: capacity mismatch");
+    }
+  }
+  current_ = std::move(m);
+}
+
+bool DynamicsEngine::step() {
+  const auto p = static_cast<PeerId>(rng_.below(acc_.size()));
+  const bool active = take_initiative(acc_, ranking_, current_, p, strategy_, cursors_, rng_);
+  ++initiatives_;
+  if (active) ++active_;
+  return active;
+}
+
+double DynamicsEngine::disorder() const {
+  return all_unit_capacity_ ? disorder_1matching(current_, stable_, ranking_)
+                            : disorder_bmatching(current_, stable_, ranking_);
+}
+
+std::vector<TrajectoryPoint> DynamicsEngine::run(double units, std::size_t samples_per_unit) {
+  if (samples_per_unit == 0) throw std::invalid_argument("run: samples_per_unit must be >= 1");
+  const std::size_t n = acc_.size();
+  const auto total_steps = static_cast<std::size_t>(units * static_cast<double>(n));
+  const std::size_t stride = std::max<std::size_t>(1, n / samples_per_unit);
+  std::vector<TrajectoryPoint> points;
+  points.reserve(total_steps / stride + 2);
+  std::size_t active_in_window = 0;
+  auto sample = [&](std::size_t window) {
+    TrajectoryPoint pt;
+    pt.initiatives_per_peer = static_cast<double>(initiatives_) / static_cast<double>(n);
+    pt.disorder = disorder();
+    pt.active_fraction =
+        window == 0 ? 0.0 : static_cast<double>(active_in_window) / static_cast<double>(window);
+    points.push_back(pt);
+  };
+  sample(0);
+  std::size_t since_sample = 0;
+  for (std::size_t s = 0; s < total_steps; ++s) {
+    if (step()) ++active_in_window;
+    if (++since_sample == stride) {
+      sample(since_sample);
+      since_sample = 0;
+      active_in_window = 0;
+    }
+  }
+  if (since_sample != 0) sample(since_sample);
+  return points;
+}
+
+double DynamicsEngine::run_until_stable(double max_units) {
+  const std::size_t n = acc_.size();
+  const auto max_steps = static_cast<std::size_t>(max_units * static_cast<double>(n));
+  const std::size_t start = initiatives_;
+  // Check disorder only once per half-unit: it costs O(n).
+  const std::size_t stride = std::max<std::size_t>(1, n / 2);
+  if (disorder() == 0.0) return 0.0;
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    step();
+    if ((s + 1) % stride == 0 && disorder() == 0.0) break;
+  }
+  return static_cast<double>(initiatives_ - start) / static_cast<double>(n);
+}
+
+}  // namespace strat::core

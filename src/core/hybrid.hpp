@@ -1,0 +1,68 @@
+// Hybrid overlays: combining utility functions (§7).
+//
+// Pure global-ranking matching stratifies: collaborations only join
+// rank-close peers, so the collaboration graph has a large diameter —
+// bad for streaming play-out delay. The paper proposes combining "a
+// second type of collaborations depending on ... a symmetric ranking
+// such as latency". This module builds that hybrid: every peer runs
+// `rank_slots` TFT-style slots matched by the global ranking *and*
+// `proximity_slots` slots matched by a symmetric latency utility
+// (closer = better), each as its own stable configuration, and exposes
+// the union overlay for structural analysis.
+//
+// Latency comes from a simple coordinate model: peers sit on a ring of
+// circumference 1 (think one-dimensional network coordinates) and the
+// pair utility is -distance, perturbed infinitesimally to keep weights
+// distinct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+#include "core/symmetric.hpp"
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+
+/// Parameters of a hybrid overlay.
+struct HybridConfig {
+  std::uint32_t rank_slots = 3;       // global-ranking collaborations
+  std::uint32_t proximity_slots = 1;  // symmetric-latency collaborations
+};
+
+/// The two stable configurations plus their union.
+struct HybridOverlay {
+  Matching rank_matching;
+  Matching proximity_matching;
+  /// Union of the two collaboration graphs (parallel edges merged).
+  graph::Graph combined;
+};
+
+/// Ring distance between coordinates in [0, 1).
+[[nodiscard]] double ring_distance(double x, double y);
+
+/// Builds the latency edge list for an acceptance graph: one weighted
+/// edge per acceptable pair, weight = -ring_distance (closer = better),
+/// deterministically jittered to break exact ties.
+[[nodiscard]] std::vector<WeightedEdge> latency_edges(const graph::Graph& acceptance,
+                                                      const std::vector<double>& coordinates);
+
+/// Builds the hybrid overlay over a shared acceptance graph.
+/// `coordinates` holds each peer's ring position in [0, 1).
+/// Throws std::invalid_argument on size mismatches or coordinates
+/// outside [0, 1).
+[[nodiscard]] HybridOverlay build_hybrid_overlay(const graph::Graph& acceptance,
+                                                 const GlobalRanking& ranking,
+                                                 const std::vector<double>& coordinates,
+                                                 const HybridConfig& config);
+
+/// Structural comparison used by the streaming bench: largest-component
+/// diameter of a collaboration graph, or SIZE_MAX when the graph has no
+/// edges at all.
+[[nodiscard]] std::size_t largest_component_diameter(const graph::Graph& g);
+
+}  // namespace strat::core

@@ -1,0 +1,77 @@
+#include "core/initiative.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace strat::core {
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "best") return Strategy::kBestMate;
+  if (name == "decremental") return Strategy::kDecremental;
+  if (name == "random") return Strategy::kRandom;
+  throw std::invalid_argument("parse_strategy: unknown strategy '" + name + "'");
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kBestMate: return "best";
+    case Strategy::kDecremental: return "decremental";
+    case Strategy::kRandom: return "random";
+  }
+  return "?";
+}
+
+bool best_mate_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                          PeerId p) {
+  const std::size_t deg = acc.degree(p);
+  for (std::size_t i = 0; i < deg; ++i) {
+    const PeerId q = acc.neighbor(p, i);
+    // Preference-ordered: once p itself would refuse q, everything
+    // later is worse — the initiative cannot be active.
+    if (!wishes(m, ranking, p, q)) return false;
+    if (!m.are_matched(p, q) && wishes(m, ranking, q, p)) {
+      execute_blocking_pair(ranking, m, p, q);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool decremental_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                            PeerId p, std::vector<std::size_t>& cursors) {
+  const std::size_t deg = acc.degree(p);
+  if (deg == 0) return false;
+  std::size_t& cursor = cursors.at(p);
+  for (std::size_t step = 0; step < deg; ++step) {
+    cursor = (cursor + 1) % deg;
+    const PeerId q = acc.neighbor(p, cursor);
+    if (is_blocking_pair(acc, ranking, m, p, q)) {
+      execute_blocking_pair(ranking, m, p, q);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool random_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                       PeerId p, graph::Rng& rng) {
+  const std::size_t deg = acc.degree(p);
+  if (deg == 0) return false;
+  const PeerId q = acc.neighbor(p, static_cast<std::size_t>(rng.below(deg)));
+  if (!is_blocking_pair(acc, ranking, m, p, q)) return false;
+  execute_blocking_pair(ranking, m, p, q);
+  return true;
+}
+
+bool take_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                     PeerId p, Strategy strategy, std::vector<std::size_t>& cursors,
+                     graph::Rng& rng) {
+  switch (strategy) {
+    case Strategy::kBestMate: return best_mate_initiative(acc, ranking, m, p);
+    case Strategy::kDecremental: return decremental_initiative(acc, ranking, m, p, cursors);
+    case Strategy::kRandom: return random_initiative(acc, ranking, m, p, rng);
+  }
+  return false;
+}
+
+}  // namespace strat::core

@@ -1,0 +1,62 @@
+// Initiatives: the decentralized re-matching moves of §3.
+//
+// A peer p "takes the initiative" by proposing partnership to acceptable
+// peers; the initiative is *active* when it finds a blocking mate and
+// changes the configuration. Three scanning strategies from the paper:
+//
+//  * best mate   — p knows every acceptable peer's rank and willingness
+//                  and grabs the best available blocking mate;
+//  * decremental — p knows ranks but not willingness: it scans its
+//                  preference list circularly from where it last stopped;
+//  * random      — p knows nothing until it asks: one uniformly random
+//                  acceptable peer per initiative.
+//
+// All three only ever *execute* blocking pairs, so Theorem 1 applies to
+// any schedule mixing them: the process converges to the unique stable
+// configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/blocking.hpp"
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+
+/// Scanning strategy for initiatives.
+enum class Strategy {
+  kBestMate,
+  kDecremental,
+  kRandom,
+};
+
+/// Parses "best"/"decremental"/"random"; throws std::invalid_argument.
+[[nodiscard]] Strategy parse_strategy(const std::string& name);
+[[nodiscard]] const char* strategy_name(Strategy s);
+
+/// Best-mate initiative by p. Returns true iff active (config changed).
+bool best_mate_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                          PeerId p);
+
+/// Decremental initiative by p: circular scan of p's preference list
+/// starting just after `cursor[p]`; updates the cursor. Returns true iff
+/// active. `cursors` must have size >= acc.size().
+bool decremental_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                            PeerId p, std::vector<std::size_t>& cursors);
+
+/// Random initiative by p: asks one uniformly random acceptable peer.
+/// Returns true iff active.
+bool random_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                       PeerId p, graph::Rng& rng);
+
+/// Dispatches one initiative of the given strategy.
+bool take_initiative(const AcceptanceGraph& acc, const GlobalRanking& ranking, Matching& m,
+                     PeerId p, Strategy strategy, std::vector<std::size_t>& cursors,
+                     graph::Rng& rng);
+
+}  // namespace strat::core

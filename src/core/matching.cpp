@@ -1,0 +1,99 @@
+#include "core/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace strat::core {
+
+Matching::Matching(std::size_t n, std::size_t b0)
+    : mates_(n), capacities_(n, static_cast<std::uint32_t>(b0)) {}
+
+Matching::Matching(std::vector<std::uint32_t> capacities)
+    : mates_(capacities.size()), capacities_(std::move(capacities)) {}
+
+PeerId Matching::worst_mate(PeerId p) const {
+  const auto& m = mates_.at(p);
+  if (m.empty()) throw std::invalid_argument("Matching::worst_mate: peer has no mates");
+  return m.back();
+}
+
+PeerId Matching::best_mate(PeerId p) const {
+  const auto& m = mates_.at(p);
+  if (m.empty()) throw std::invalid_argument("Matching::best_mate: peer has no mates");
+  return m.front();
+}
+
+PeerId Matching::mate(PeerId p) const {
+  const auto& m = mates_.at(p);
+  return m.empty() ? kNoPeer : m.front();
+}
+
+bool Matching::are_matched(PeerId p, PeerId q) const {
+  const auto& m = mates_.at(p);
+  return std::find(m.begin(), m.end(), q) != m.end();
+}
+
+void Matching::connect(PeerId p, PeerId q, const GlobalRanking& ranking) {
+  if (p == q) throw std::invalid_argument("Matching::connect: self-collaboration");
+  if (p >= size() || q >= size()) throw std::invalid_argument("Matching::connect: bad peer id");
+  if (is_full(p) || is_full(q)) throw std::invalid_argument("Matching::connect: no free slot");
+  if (are_matched(p, q)) throw std::invalid_argument("Matching::connect: already matched");
+  auto insert_sorted = [&](PeerId owner, PeerId other) {
+    auto& list = mates_[owner];
+    auto it = std::lower_bound(list.begin(), list.end(), other, [&](PeerId a, PeerId b) {
+      return ranking.prefers(a, b);
+    });
+    list.insert(it, other);
+  };
+  insert_sorted(p, q);
+  insert_sorted(q, p);
+  ++connections_;
+}
+
+void Matching::disconnect(PeerId p, PeerId q) {
+  auto remove_one = [&](PeerId owner, PeerId other) {
+    auto& list = mates_.at(owner);
+    auto it = std::find(list.begin(), list.end(), other);
+    if (it == list.end()) throw std::invalid_argument("Matching::disconnect: not matched");
+    list.erase(it);
+  };
+  remove_one(p, q);
+  remove_one(q, p);
+  --connections_;
+}
+
+void Matching::clear_peer(PeerId p) {
+  // Copy: disconnect mutates the list we'd be iterating.
+  const std::vector<PeerId> current(mates_.at(p).begin(), mates_.at(p).end());
+  for (PeerId q : current) disconnect(p, q);
+}
+
+PeerId Matching::add_peer(std::uint32_t capacity) {
+  mates_.emplace_back();
+  capacities_.push_back(capacity);
+  return static_cast<PeerId>(mates_.size() - 1);
+}
+
+std::size_t Matching::total_capacity() const noexcept {
+  return std::accumulate(capacities_.begin(), capacities_.end(), std::size_t{0});
+}
+
+void Matching::validate(const GlobalRanking& ranking) const {
+  std::size_t half_edges = 0;
+  for (PeerId p = 0; p < size(); ++p) {
+    const auto& m = mates_[p];
+    if (m.size() > capacities_[p]) throw std::logic_error("Matching: capacity exceeded");
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == p) throw std::logic_error("Matching: self-collaboration");
+      if (i + 1 < m.size() && !ranking.prefers(m[i], m[i + 1])) {
+        throw std::logic_error("Matching: mate list not preference-sorted");
+      }
+      if (!are_matched(m[i], p)) throw std::logic_error("Matching: asymmetric collaboration");
+    }
+    half_edges += m.size();
+  }
+  if (half_edges != 2 * connections_) throw std::logic_error("Matching: edge count mismatch");
+}
+
+}  // namespace strat::core

@@ -1,0 +1,89 @@
+// Configurations (b-matchings) of the collaboration graph (§2).
+//
+// A Matching stores, for every peer p, its current mates sorted best
+// first (by the global ranking) and its slot bound b(p). It is a pure
+// data structure: preference queries that need ordering take the ranking
+// explicitly, so the Matching has no hidden lifetime coupling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "core/types.hpp"
+
+namespace strat::core {
+
+/// A b-matching configuration: degree(p) <= capacity(p) for all p.
+class Matching {
+ public:
+  Matching() = default;
+
+  /// n peers, uniform capacity b0 (the constant b0-matching of §4.1).
+  Matching(std::size_t n, std::size_t b0);
+
+  /// Per-peer capacities b(p) (the variable b-matching of §4.2).
+  explicit Matching(std::vector<std::uint32_t> capacities);
+
+  /// Number of peers.
+  [[nodiscard]] std::size_t size() const noexcept { return mates_.size(); }
+
+  /// Slot bound b(p).
+  [[nodiscard]] std::uint32_t capacity(PeerId p) const { return capacities_.at(p); }
+
+  /// Current number of mates of p.
+  [[nodiscard]] std::size_t degree(PeerId p) const { return mates_.at(p).size(); }
+
+  /// True iff p has no free slot left.
+  [[nodiscard]] bool is_full(PeerId p) const { return degree(p) >= capacity(p); }
+
+  /// Mates of p, sorted best first. Valid until the next mutation.
+  [[nodiscard]] std::span<const PeerId> mates(PeerId p) const {
+    const auto& m = mates_.at(p);
+    return {m.data(), m.size()};
+  }
+
+  /// Worst current mate of p. Requires degree(p) > 0 (throws otherwise).
+  [[nodiscard]] PeerId worst_mate(PeerId p) const;
+
+  /// Best current mate of p. Requires degree(p) > 0 (throws otherwise).
+  [[nodiscard]] PeerId best_mate(PeerId p) const;
+
+  /// For 1-matchings: the unique mate of p, or kNoPeer if unmatched.
+  [[nodiscard]] PeerId mate(PeerId p) const;
+
+  /// True iff p and q are currently matched together.
+  [[nodiscard]] bool are_matched(PeerId p, PeerId q) const;
+
+  /// Connects p and q, keeping both mate lists preference-sorted.
+  /// Throws std::invalid_argument on p == q, a full endpoint, an
+  /// out-of-range id, or an already-matched pair.
+  void connect(PeerId p, PeerId q, const GlobalRanking& ranking);
+
+  /// Disconnects p and q. Throws std::invalid_argument if not matched.
+  void disconnect(PeerId p, PeerId q);
+
+  /// Drops all collaborations of p (used on departure).
+  void clear_peer(PeerId p);
+
+  /// Appends a fresh peer with the given capacity; returns its id.
+  PeerId add_peer(std::uint32_t capacity);
+
+  /// Total number of established collaborations (edges).
+  [[nodiscard]] std::size_t connection_count() const noexcept { return connections_; }
+
+  /// Sum of capacities B = sum_p b(p) (Theorem 1's bound is B/2).
+  [[nodiscard]] std::size_t total_capacity() const noexcept;
+
+  /// Internal consistency check (symmetry, bounds, sortedness).
+  /// Throws std::logic_error with a description on violation.
+  void validate(const GlobalRanking& ranking) const;
+
+ private:
+  std::vector<std::vector<PeerId>> mates_;  // each sorted best first
+  std::vector<std::uint32_t> capacities_;
+  std::size_t connections_ = 0;
+};
+
+}  // namespace strat::core

@@ -1,0 +1,90 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strat::core {
+
+graph::Graph collaboration_graph(const Matching& m) {
+  graph::Graph g(m.size());
+  for (PeerId p = 0; p < m.size(); ++p) {
+    for (PeerId q : m.mates(p)) {
+      if (q > p) g.add_edge(p, q);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+ClusterStats cluster_stats(const Matching& m) {
+  const graph::Graph g = collaboration_graph(m);
+  const graph::Components comps = graph::connected_components(g);
+  ClusterStats out;
+  out.components = comps.count();
+  out.largest = comps.largest();
+  out.mean_size = comps.mean_size();
+  out.vertex_mean_size = comps.vertex_mean_size();
+  for (PeerId p = 0; p < m.size(); ++p) {
+    if (m.degree(p) == 0) ++out.isolated_peers;
+  }
+  return out;
+}
+
+std::size_t max_offset(const Matching& m, const GlobalRanking& ranking, PeerId p) {
+  std::size_t best = 0;
+  const auto rp = static_cast<long>(ranking.rank_of(p));
+  for (PeerId q : m.mates(p)) {
+    const auto rq = static_cast<long>(ranking.rank_of(q));
+    best = std::max(best, static_cast<std::size_t>(std::abs(rp - rq)));
+  }
+  return best;
+}
+
+double mean_max_offset(const Matching& m, const GlobalRanking& ranking) {
+  double sum = 0.0;
+  std::size_t matched = 0;
+  for (PeerId p = 0; p < m.size(); ++p) {
+    if (m.degree(p) == 0) continue;
+    sum += static_cast<double>(max_offset(m, ranking, p));
+    ++matched;
+  }
+  return matched == 0 ? 0.0 : sum / static_cast<double>(matched);
+}
+
+double mmo_closed_form(std::size_t b0) {
+  if (b0 == 0) throw std::invalid_argument("mmo_closed_form: b0 must be >= 1");
+  const std::size_t cluster = b0 + 1;
+  std::size_t sum = 0;
+  for (std::size_t j = 1; j <= cluster; ++j) sum += std::max(j - 1, cluster - j);
+  return static_cast<double>(sum) / static_cast<double>(cluster);
+}
+
+double mean_abs_offset(const Matching& m, const GlobalRanking& ranking) {
+  double sum = 0.0;
+  std::size_t edges = 0;
+  for (PeerId p = 0; p < m.size(); ++p) {
+    const auto rp = static_cast<long>(ranking.rank_of(p));
+    for (PeerId q : m.mates(p)) {
+      if (q <= p) continue;
+      const auto rq = static_cast<long>(ranking.rank_of(q));
+      sum += static_cast<double>(std::abs(rp - rq));
+      ++edges;
+    }
+  }
+  return edges == 0 ? 0.0 : sum / static_cast<double>(edges);
+}
+
+std::vector<double> mate_rank_profile(const Matching& m, const GlobalRanking& ranking) {
+  std::vector<double> profile(m.size(), -1.0);
+  for (Rank r = 0; r < m.size(); ++r) {
+    const PeerId p = ranking.peer_at(r);
+    const auto mates = m.mates(p);
+    if (mates.empty()) continue;
+    double sum = 0.0;
+    for (PeerId q : mates) sum += static_cast<double>(ranking.rank_of(q));
+    profile[r] = sum / static_cast<double>(mates.size());
+  }
+  return profile;
+}
+
+}  // namespace strat::core

@@ -1,0 +1,57 @@
+// Stratification metrics (§4): collaboration-graph clustering and the
+// Mean Max Offset (MMO).
+//
+// The *collaboration graph* is the configuration viewed as a plain
+// undirected graph. Clustering = its connected components. The MMO is
+// the mean, over matched peers, of the largest rank offset between a
+// peer and any of its direct collaborators; small MMO with large
+// clusters is exactly the paper's "stratification": everyone is in one
+// component but only collaborates with peers of nearly equal rank.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+#include "graph/components.hpp"
+#include "graph/graph.hpp"
+
+namespace strat::core {
+
+/// Exports a configuration as an undirected graph (vertex = peer id).
+[[nodiscard]] graph::Graph collaboration_graph(const Matching& m);
+
+/// Cluster statistics of a configuration.
+struct ClusterStats {
+  std::size_t components = 0;       // including isolated peers
+  std::size_t largest = 0;
+  double mean_size = 0.0;           // components-averaged
+  double vertex_mean_size = 0.0;    // peer-experienced average (Table 1)
+  std::size_t isolated_peers = 0;   // peers with no collaboration
+};
+
+[[nodiscard]] ClusterStats cluster_stats(const Matching& m);
+
+/// Max rank offset of peer p to its direct mates; 0 if unmatched.
+[[nodiscard]] std::size_t max_offset(const Matching& m, const GlobalRanking& ranking, PeerId p);
+
+/// Mean Max Offset over *matched* peers; 0 if nobody is matched.
+[[nodiscard]] double mean_max_offset(const Matching& m, const GlobalRanking& ranking);
+
+/// Closed-form MMO of constant b0-matching on a complete acceptance
+/// graph (§4.2): the stable configuration is disjoint K_{b0+1} clusters,
+/// so MMO = (1/(b0+1)) * sum_{j=1}^{b0+1} max(j-1, b0+1-j) -> (3/4) b0.
+/// Throws std::invalid_argument for b0 == 0.
+[[nodiscard]] double mmo_closed_form(std::size_t b0);
+
+/// Mean |rank(p) - rank(mate)| over all collaborations (both directions
+/// averaged once per edge). A direct stratification-width measure.
+[[nodiscard]] double mean_abs_offset(const Matching& m, const GlobalRanking& ranking);
+
+/// Per-peer stratification profile: for each peer (by rank order), the
+/// mean rank of its mates, or -1 when unmatched. Used by example apps.
+[[nodiscard]] std::vector<double> mate_rank_profile(const Matching& m,
+                                                    const GlobalRanking& ranking);
+
+}  // namespace strat::core

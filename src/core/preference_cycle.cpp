@@ -1,0 +1,178 @@
+#include "core/preference_cycle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace strat::core {
+
+PreferenceSystem preferences_from_ranking(const GlobalRanking& ranking,
+                                          const std::vector<std::vector<PeerId>>& adjacency) {
+  PreferenceSystem prefs(adjacency.size());
+  for (PeerId p = 0; p < adjacency.size(); ++p) {
+    prefs[p] = adjacency[p];
+    std::sort(prefs[p].begin(), prefs[p].end(),
+              [&](PeerId a, PeerId b) { return ranking.prefers(a, b); });
+  }
+  return prefs;
+}
+
+bool pref_prefers(const PreferenceSystem& prefs, PeerId p, PeerId q, PeerId r) {
+  const auto& list = prefs.at(p);
+  for (PeerId x : list) {
+    if (x == q) return true;   // q seen first
+    if (x == r) return false;  // r seen first
+  }
+  return false;  // q not acceptable: never preferred
+}
+
+bool is_preference_cycle(const PreferenceSystem& prefs, const std::vector<PeerId>& cycle) {
+  const std::size_t k = cycle.size();
+  if (k < 3) return false;
+  std::vector<PeerId> sorted = cycle;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    const PeerId prev = cycle[(i + k - 1) % k];
+    const PeerId cur = cycle[i];
+    const PeerId next = cycle[(i + 1) % k];
+    if (!pref_prefers(prefs, cur, next, prev)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr std::size_t kExhaustiveLimit = 10;
+
+/// Exhaustive DFS over simple paths; complete for small n.
+bool dfs_exhaustive(const PreferenceSystem& prefs, std::vector<PeerId>& path,
+                    std::vector<bool>& used, std::vector<PeerId>* out) {
+  const PeerId cur = path.back();
+  const PeerId prev = path.size() >= 2 ? path[path.size() - 2] : kNoPeer;
+  for (PeerId next : prefs[cur]) {
+    // Interior step needs cur to prefer next over prev.
+    if (prev != kNoPeer && !pref_prefers(prefs, cur, next, prev)) continue;
+    if (next == path.front() && path.size() >= 3) {
+      // Close the cycle; check the two wrap-around triples.
+      std::vector<PeerId> candidate = path;
+      if (is_preference_cycle(prefs, candidate)) {
+        *out = std::move(candidate);
+        return true;
+      }
+      continue;
+    }
+    if (next < used.size() && used[next]) continue;
+    used[next] = true;
+    path.push_back(next);
+    if (dfs_exhaustive(prefs, path, used, out)) return true;
+    path.pop_back();
+    used[next] = false;
+  }
+  return false;
+}
+
+/// State-graph cycle detection on ordered acceptable pairs.
+/// State (a, b) -> (b, c) iff b prefers c to a. Any preference cycle
+/// induces a state cycle. Returns a state cycle's peer walk, if any.
+std::optional<std::vector<PeerId>> find_state_cycle(const PreferenceSystem& prefs) {
+  const std::size_t n = prefs.size();
+  // Enumerate states (a, idx of b in prefs[a]) densely.
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) offset[p + 1] = offset[p] + prefs[p].size();
+  const std::size_t states = offset[n];
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(states, kWhite);
+
+  // Iterative DFS storing (state, next-successor index).
+  struct Frame {
+    std::size_t state;
+    std::size_t succ = 0;
+  };
+  auto state_of = [&](PeerId a, std::size_t bi) { return offset[a] + bi; };
+  auto peers_of = [&](std::size_t s) {
+    const auto a = static_cast<PeerId>(
+        std::upper_bound(offset.begin(), offset.end(), s) - offset.begin() - 1);
+    const std::size_t bi = s - offset[a];
+    return std::pair<PeerId, PeerId>(a, prefs[a][bi]);
+  };
+  for (std::size_t root = 0; root < states; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto [a, b] = peers_of(f.state);
+      // Successors: states (b, c) with b preferring c to a, i.e. every
+      // entry of prefs[b] strictly before a.
+      const auto& list = prefs[b];
+      bool descended = false;
+      while (f.succ < list.size()) {
+        const std::size_t ci = f.succ++;
+        if (list[ci] == a) {
+          f.succ = list.size();  // entries after a are not preferred to a
+          break;
+        }
+        const std::size_t next_state = state_of(b, ci);
+        if (color[next_state] == kGray) {
+          // Found a cycle: unwind the stack to build the peer walk.
+          std::vector<PeerId> walk;
+          bool recording = false;
+          for (const Frame& fr : stack) {
+            if (fr.state == next_state) recording = true;
+            if (recording) walk.push_back(peers_of(fr.state).first);
+          }
+          walk.push_back(b);
+          return walk;
+        }
+        if (color[next_state] == kWhite) {
+          color[next_state] = kGray;
+          stack.push_back({next_state, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && (stack.back().succ >= list.size())) {
+        color[stack.back().state] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<PeerId>> find_preference_cycle(const PreferenceSystem& prefs) {
+  if (prefs.size() <= kExhaustiveLimit) {
+    std::vector<PeerId> out;
+    for (PeerId start = 0; start < prefs.size(); ++start) {
+      std::vector<PeerId> path{start};
+      std::vector<bool> used(prefs.size(), false);
+      used[start] = true;
+      if (dfs_exhaustive(prefs, path, used, &out)) return out;
+    }
+    return std::nullopt;
+  }
+  // Large instances: extract from a state cycle and verify.
+  auto walk = find_state_cycle(prefs);
+  if (!walk) return std::nullopt;
+  // Trim to the first repeated peer, then verify; the walk may visit a
+  // peer twice, in which case the naive trim can fail verification.
+  std::vector<PeerId> cycle;
+  for (PeerId p : *walk) {
+    auto it = std::find(cycle.begin(), cycle.end(), p);
+    if (it != cycle.end()) {
+      std::vector<PeerId> candidate(it, cycle.end());
+      if (is_preference_cycle(prefs, candidate)) return candidate;
+      break;
+    }
+    cycle.push_back(p);
+  }
+  if (is_preference_cycle(prefs, cycle)) return cycle;
+  return std::nullopt;
+}
+
+bool is_cycle_free(const PreferenceSystem& prefs) { return !find_state_cycle(prefs).has_value(); }
+
+}  // namespace strat::core

@@ -1,0 +1,54 @@
+// Preference systems and Tan's cycle criterion (§3).
+//
+// A general preference system gives every peer an ordered list of
+// acceptable peers. Tan (1991) showed a stable configuration exists iff
+// there is no odd preference cycle of length > 1, and is unique if
+// additionally no even cycle of length > 2 exists. A preference cycle
+// p_1,...,p_k (k >= 3, distinct) has every p_i preferring p_{i+1} to
+// p_{i-1} (cyclically). A strict global ranking admits no such cycle,
+// which yields the paper's existence + uniqueness result; this module
+// provides machinery to check such claims on arbitrary instances (used
+// by tests and the exact-enumeration analysis).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "core/types.hpp"
+
+namespace strat::core {
+
+/// Explicit preference system: prefs[p] lists p's acceptable peers,
+/// most preferred first.
+using PreferenceSystem = std::vector<std::vector<PeerId>>;
+
+/// Builds the preference system induced by a global ranking restricted
+/// to an acceptance graph given as adjacency lists (unordered).
+[[nodiscard]] PreferenceSystem preferences_from_ranking(
+    const GlobalRanking& ranking, const std::vector<std::vector<PeerId>>& adjacency);
+
+/// True iff q appears in prefs[p] strictly before r. A peer missing
+/// from the list ranks below every listed peer.
+[[nodiscard]] bool pref_prefers(const PreferenceSystem& prefs, PeerId p, PeerId q, PeerId r);
+
+/// True iff `cycle` (k >= 3 distinct peers) is a preference cycle.
+[[nodiscard]] bool is_preference_cycle(const PreferenceSystem& prefs,
+                                       const std::vector<PeerId>& cycle);
+
+/// Searches for a preference cycle. Exhaustive (hence complete) for
+/// n <= 10; for larger systems it walks the directed state graph on
+/// ordered acceptable pairs ((a,b) -> (b,c) iff b prefers c to a) and
+/// verifies extracted witnesses, which is sound but may miss cycles in
+/// adversarial large instances. Every returned witness is verified.
+[[nodiscard]] std::optional<std::vector<PeerId>> find_preference_cycle(
+    const PreferenceSystem& prefs);
+
+/// Exact certificate of cycle-freeness: the state graph on ordered
+/// acceptable pairs is acyclic. Any preference cycle induces a state
+/// cycle, so `true` proves no preference cycle exists (the direction
+/// Theorem 1 needs). Global rankings always return true.
+[[nodiscard]] bool is_cycle_free(const PreferenceSystem& prefs);
+
+}  // namespace strat::core

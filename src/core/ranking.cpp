@@ -1,0 +1,69 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace strat::core {
+
+GlobalRanking GlobalRanking::identity(std::size_t n) {
+  GlobalRanking r;
+  r.scores_.resize(n);
+  r.rank_of_.resize(n);
+  r.peer_at_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.scores_[i] = static_cast<double>(n - i);
+    r.rank_of_[i] = static_cast<Rank>(i);
+    r.peer_at_[i] = static_cast<PeerId>(i);
+  }
+  return r;
+}
+
+GlobalRanking GlobalRanking::from_scores(std::vector<double> scores) {
+  std::unordered_set<double> seen;
+  seen.reserve(scores.size());
+  for (double s : scores) {
+    if (!seen.insert(s).second) {
+      throw std::invalid_argument("GlobalRanking: scores must be distinct (ties excluded, §3)");
+    }
+  }
+  GlobalRanking r;
+  r.scores_ = std::move(scores);
+  r.dirty_ = true;
+  return r;
+}
+
+void GlobalRanking::refresh() const {
+  const std::size_t n = scores_.size();
+  peer_at_.resize(n);
+  std::iota(peer_at_.begin(), peer_at_.end(), PeerId{0});
+  std::sort(peer_at_.begin(), peer_at_.end(),
+            [&](PeerId a, PeerId b) { return scores_[a] > scores_[b]; });
+  rank_of_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) rank_of_[peer_at_[r]] = static_cast<Rank>(r);
+  dirty_ = false;
+}
+
+Rank GlobalRanking::rank_of(PeerId p) const {
+  if (p >= scores_.size()) throw std::out_of_range("GlobalRanking::rank_of: bad peer id");
+  if (dirty_) refresh();
+  return rank_of_[p];
+}
+
+PeerId GlobalRanking::peer_at(Rank r) const {
+  if (r >= scores_.size()) throw std::out_of_range("GlobalRanking::peer_at: bad rank");
+  if (dirty_) refresh();
+  return peer_at_[r];
+}
+
+PeerId GlobalRanking::append(double score) {
+  for (double s : scores_) {
+    if (s == score) throw std::invalid_argument("GlobalRanking::append: duplicate score");
+  }
+  scores_.push_back(score);
+  dirty_ = true;
+  return static_cast<PeerId>(scores_.size() - 1);
+}
+
+}  // namespace strat::core

@@ -1,0 +1,69 @@
+// Global ranking S(p): every peer has a distinct intrinsic mark.
+//
+// The paper's model (§2) assumes a strict global utility: each peer p has
+// a score S(p) (bandwidth, storage, ELO, ...) and all peers agree that
+// higher-scored partners are better. Ties are excluded (§3 "Note on
+// ties"); the constructor enforces distinctness.
+//
+// Ranks are 0-based: rank 0 is the best peer. With churn, peers may be
+// appended; rank queries reflect the extended population (lazily
+// recomputed), while score comparisons are always O(1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace strat::core {
+
+/// Strict global ranking over peers 0..n-1.
+class GlobalRanking {
+ public:
+  /// Identity ranking on n peers: peer i has rank i (score n - i), i.e.
+  /// peer 0 is best — the labelling used throughout the paper's §3–§5.
+  static GlobalRanking identity(std::size_t n);
+
+  /// Ranking from explicit scores (higher score = better peer).
+  /// Throws std::invalid_argument if two scores are equal.
+  static GlobalRanking from_scores(std::vector<double> scores);
+
+  GlobalRanking() = default;
+
+  /// Number of peers.
+  [[nodiscard]] std::size_t size() const noexcept { return scores_.size(); }
+
+  /// Intrinsic mark of peer p. Throws std::out_of_range on a bad id.
+  [[nodiscard]] double score(PeerId p) const { return scores_.at(p); }
+
+  /// True iff peer a is strictly better than peer b (higher score).
+  /// Unchecked (hot path): both ids must be < size().
+  [[nodiscard]] bool prefers(PeerId a, PeerId b) const noexcept {
+    return scores_[a] > scores_[b];
+  }
+
+  /// 0-based rank of p (0 = best). O(1) after an internal O(n log n)
+  /// refresh when the population changed since the last rank query.
+  [[nodiscard]] Rank rank_of(PeerId p) const;
+
+  /// Peer holding rank r.
+  [[nodiscard]] PeerId peer_at(Rank r) const;
+
+  /// Appends one peer with the given score; returns its id.
+  /// Throws std::invalid_argument if the score collides with an
+  /// existing one.
+  PeerId append(double score);
+
+  /// All scores, indexed by peer id.
+  [[nodiscard]] const std::vector<double>& scores() const noexcept { return scores_; }
+
+ private:
+  void refresh() const;
+
+  std::vector<double> scores_;
+  mutable std::vector<Rank> rank_of_;    // peer -> rank
+  mutable std::vector<PeerId> peer_at_;  // rank -> peer
+  mutable bool dirty_ = false;
+};
+
+}  // namespace strat::core

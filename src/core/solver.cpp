@@ -1,0 +1,103 @@
+#include "core/solver.hpp"
+
+#include <stdexcept>
+
+#include "core/blocking.hpp"
+
+namespace strat::core {
+
+SolveStats stable_configuration(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                                Matching& matching) {
+  const std::size_t n = acc.size();
+  if (matching.size() != n) {
+    throw std::invalid_argument("stable_configuration: matching size mismatch");
+  }
+  for (PeerId p = 0; p < n; ++p) matching.clear_peer(p);
+
+  // Peers in rank order, best first. Each takes its most preferred
+  // acceptable peers that still have free slots. Peers better than the
+  // current one were fully served earlier, so only worse peers are
+  // considered (mirrors Algorithm 1's "starting just after i").
+  for (Rank r = 0; r < n; ++r) {
+    const PeerId p = ranking.peer_at(r);
+    if (matching.is_full(p)) continue;
+    const std::size_t deg = acc.degree(p);
+    for (std::size_t i = 0; i < deg && !matching.is_full(p); ++i) {
+      const PeerId q = acc.neighbor(p, i);
+      if (ranking.prefers(q, p)) continue;  // handled when q's turn came
+      if (matching.is_full(q)) continue;
+      matching.connect(p, q, ranking);
+    }
+  }
+
+  SolveStats stats;
+  stats.connections = matching.connection_count();
+  for (PeerId p = 0; p < n; ++p) {
+    stats.unfilled_slots += matching.capacity(p) - matching.degree(p);
+  }
+  return stats;
+}
+
+Matching stable_configuration(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                              std::vector<std::uint32_t> capacities) {
+  if (capacities.size() != acc.size()) {
+    throw std::invalid_argument("stable_configuration: capacities size mismatch");
+  }
+  Matching m(std::move(capacities));
+  stable_configuration(acc, ranking, m);
+  return m;
+}
+
+Matching stable_configuration_complete(const std::vector<std::uint32_t>& capacities) {
+  const std::size_t n = capacities.size();
+  Matching m{std::vector<std::uint32_t>(capacities)};
+  if (n == 0) return m;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+
+  // Doubly-linked free list over ranks with remaining slots, ascending.
+  // Peer r (rank order == id order here) greedily takes the nearest
+  // worse free peers: any *better* free peer already connected to r on
+  // its own earlier turn, so only ranks after r need scanning — this is
+  // exactly Algorithm 1's inner loop "starting just after i".
+  const auto kEnd = static_cast<std::uint32_t>(n);
+  std::vector<std::uint32_t> next(n, kEnd);
+  std::vector<std::uint32_t> prev(n, kEnd);
+  std::vector<std::uint32_t> free_slots(capacities);
+  {
+    std::uint32_t last = kEnd;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (free_slots[r] == 0) continue;
+      if (last != kEnd) {
+        next[last] = r;
+        prev[r] = last;
+      }
+      last = r;
+    }
+  }
+  auto unlink = [&](std::uint32_t r) {
+    const std::uint32_t a = prev[r];
+    const std::uint32_t b = next[r];
+    if (a != kEnd) next[a] = b;
+    if (b != kEnd) prev[b] = a;
+  };
+
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (free_slots[r] == 0) continue;
+    std::uint32_t q = next[r];
+    while (free_slots[r] > 0 && q != kEnd) {
+      const std::uint32_t after = next[q];
+      m.connect(static_cast<PeerId>(r), static_cast<PeerId>(q), ranking);
+      --free_slots[r];
+      --free_slots[q];
+      if (free_slots[q] == 0) unlink(q);
+      q = after;
+    }
+    // Retire r even if slots remain unfilled: later peers only look at
+    // ranks after themselves, so r can never be picked again.
+    unlink(r);
+    free_slots[r] = 0;
+  }
+  return m;
+}
+
+}  // namespace strat::core

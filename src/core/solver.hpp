@@ -1,0 +1,51 @@
+// Algorithm 1: the unique stable configuration under a global ranking.
+//
+// With a strict global ranking there are no preference cycles, so by
+// Tan's criterion exactly one stable b-matching exists (§3). It is
+// computed greedily: the best peer picks its best b(p1) acceptable
+// peers, the second best follows with whatever slots remain, and so on.
+//
+// Two code paths:
+//  * generic, for any AcceptanceGraph: O(sum_p degree_acc(p));
+//  * complete-graph fast path using an ordered free list: O(n + B)
+//    where B = sum_p b(p), which makes the n ~ 10^5..10^6 cluster
+//    studies of §4 (Table 1, Figure 6) cheap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+
+namespace strat::core {
+
+/// Result of running Algorithm 1.
+struct SolveStats {
+  /// Collaborations established (== matching.connection_count()).
+  std::size_t connections = 0;
+  /// Slots left unfilled across all peers (the paper notes the worst
+  /// peers may not satisfy all their connections).
+  std::size_t unfilled_slots = 0;
+};
+
+/// Computes the unique stable configuration for `capacities` over `acc`.
+/// `matching` is cleared and refilled; returns stats.
+/// Throws std::invalid_argument if sizes disagree.
+SolveStats stable_configuration(const AcceptanceGraph& acc, const GlobalRanking& ranking,
+                                Matching& matching);
+
+/// Convenience overload constructing the matching.
+[[nodiscard]] Matching stable_configuration(const AcceptanceGraph& acc,
+                                            const GlobalRanking& ranking,
+                                            std::vector<std::uint32_t> capacities);
+
+/// Fast path for the complete acceptance graph (§4): peers in rank order
+/// take the nearest lower-ranked available peers. `capacities[i]` is
+/// b(peer with rank i); the returned mate lists use rank ids (peer id ==
+/// rank, i.e. the identity ranking convention).
+/// O(n + B) time, O(n) memory; never materializes the K_n graph.
+[[nodiscard]] Matching stable_configuration_complete(const std::vector<std::uint32_t>& capacities);
+
+}  // namespace strat::core

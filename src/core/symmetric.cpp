@@ -1,0 +1,112 @@
+#include "core/symmetric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace strat::core {
+
+namespace {
+
+std::uint64_t pair_key(PeerId a, PeerId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+void validate_edges(const std::vector<WeightedEdge>& edges, std::size_t n) {
+  std::unordered_set<std::uint64_t> pairs;
+  std::unordered_set<double> weights;
+  pairs.reserve(edges.size());
+  weights.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    if (e.a == e.b) throw std::invalid_argument("symmetric matching: loop edge");
+    if (e.a >= n || e.b >= n) throw std::invalid_argument("symmetric matching: bad peer id");
+    if (!pairs.insert(pair_key(e.a, e.b)).second) {
+      throw std::invalid_argument("symmetric matching: duplicate pair");
+    }
+    if (!weights.insert(e.weight).second) {
+      throw std::invalid_argument("symmetric matching: duplicate weight (ties excluded)");
+    }
+  }
+}
+
+std::unordered_map<std::uint64_t, double> weight_map(const std::vector<WeightedEdge>& edges) {
+  std::unordered_map<std::uint64_t, double> w;
+  w.reserve(edges.size());
+  for (const WeightedEdge& e : edges) w[pair_key(e.a, e.b)] = e.weight;
+  return w;
+}
+
+}  // namespace
+
+Matching stable_symmetric_matching(std::vector<WeightedEdge> edges,
+                                   const std::vector<std::uint32_t>& capacities) {
+  const std::size_t n = capacities.size();
+  validate_edges(edges, n);
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& x, const WeightedEdge& y) { return x.weight > y.weight; });
+  Matching m{std::vector<std::uint32_t>(capacities)};
+  // Matching's internal ordering needs *some* strict ranking; mate-list
+  // order is documented as by-id here.
+  const GlobalRanking id_order = GlobalRanking::identity(n);
+  for (const WeightedEdge& e : edges) {
+    if (!m.is_full(e.a) && !m.is_full(e.b)) m.connect(e.a, e.b, id_order);
+  }
+  return m;
+}
+
+PreferenceSystem preferences_from_weights(const std::vector<WeightedEdge>& edges, std::size_t n) {
+  validate_edges(edges, n);
+  std::vector<std::vector<std::pair<double, PeerId>>> ranked(n);
+  for (const WeightedEdge& e : edges) {
+    ranked[e.a].emplace_back(e.weight, e.b);
+    ranked[e.b].emplace_back(e.weight, e.a);
+  }
+  PreferenceSystem prefs(n);
+  for (PeerId p = 0; p < n; ++p) {
+    std::sort(ranked[p].begin(), ranked[p].end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    prefs[p].reserve(ranked[p].size());
+    for (const auto& [w, q] : ranked[p]) prefs[p].push_back(q);
+  }
+  return prefs;
+}
+
+namespace {
+
+bool blocking_with_map(const std::unordered_map<std::uint64_t, double>& weights,
+                       const Matching& m, PeerId p, PeerId q) {
+  if (p == q) return false;
+  const auto it = weights.find(pair_key(p, q));
+  if (it == weights.end()) return false;  // not acceptable
+  if (m.are_matched(p, q)) return false;
+  const double w_pq = it->second;
+  auto wishes = [&](PeerId owner) {
+    if (!m.is_full(owner)) return true;
+    // Full: wishes iff some current mate is connected by a lighter edge.
+    for (PeerId mate : m.mates(owner)) {
+      const auto found = weights.find(pair_key(owner, mate));
+      if (found != weights.end() && found->second < w_pq) return true;
+    }
+    return false;
+  };
+  return wishes(p) && wishes(q);
+}
+
+}  // namespace
+
+bool is_symmetric_blocking_pair(const std::vector<WeightedEdge>& edges, const Matching& m,
+                                PeerId p, PeerId q) {
+  return blocking_with_map(weight_map(edges), m, p, q);
+}
+
+bool is_symmetric_stable(const std::vector<WeightedEdge>& edges, const Matching& m) {
+  const auto weights = weight_map(edges);
+  for (const WeightedEdge& e : edges) {
+    if (blocking_with_map(weights, m, e.a, e.b)) return false;
+  }
+  return true;
+}
+
+}  // namespace strat::core

@@ -1,0 +1,58 @@
+// Stable b-matching under *symmetric* utilities (§7 outlook).
+//
+// The paper closes by noting that applications needing a small overlay
+// diameter (e.g. streaming) should combine the global-ranking utility
+// with "a symmetric ranking such as latency". A symmetric utility
+// assigns each acceptable pair {p, q} one weight w(p, q) = w(q, p);
+// both peers prefer heavier partners. Distinct weights admit no
+// preference cycle (around any cycle the edge weights would have to
+// strictly increase), so by Tan's criterion the stable configuration
+// exists and is unique; it is computed by the classic greedy: repeatedly
+// match the globally heaviest pair whose endpoints both have free slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching.hpp"
+#include "core/preference_cycle.hpp"
+#include "core/types.hpp"
+
+namespace strat::core {
+
+/// One acceptable pair with its symmetric utility (higher = better).
+struct WeightedEdge {
+  PeerId a = 0;
+  PeerId b = 0;
+  double weight = 0.0;
+};
+
+/// Computes the unique stable b-matching of a symmetric-utility
+/// instance. `capacities` has one entry per peer; `edges` lists the
+/// acceptance graph with weights (each unordered pair at most once).
+///
+/// The returned Matching's mate lists are ordered by peer id (weights
+/// are per-pair, so no single global order applies; use the edge list
+/// to rank a peer's mates by utility). O(E log E). Throws
+/// std::invalid_argument on loops, out-of-range ids, duplicate pairs,
+/// or duplicate weights (ties excluded, as in the paper's
+/// global-ranking model).
+[[nodiscard]] Matching stable_symmetric_matching(std::vector<WeightedEdge> edges,
+                                                 const std::vector<std::uint32_t>& capacities);
+
+/// The preference system induced by symmetric weights (per-peer lists
+/// sorted by descending weight). Useful for cycle-freeness checks and
+/// for feeding the generic machinery in tests.
+[[nodiscard]] PreferenceSystem preferences_from_weights(const std::vector<WeightedEdge>& edges,
+                                                        std::size_t n);
+
+/// True iff {p, q} is a blocking pair of `m` under the symmetric
+/// instance: acceptable, unmatched, and each endpoint either has a free
+/// slot or holds a mate connected by a strictly lighter edge.
+[[nodiscard]] bool is_symmetric_blocking_pair(const std::vector<WeightedEdge>& edges,
+                                              const Matching& m, PeerId p, PeerId q);
+
+/// Exhaustive stability check against every listed edge.
+[[nodiscard]] bool is_symmetric_stable(const std::vector<WeightedEdge>& edges, const Matching& m);
+
+}  // namespace strat::core

@@ -1,0 +1,60 @@
+#include "core/ties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace strat::core {
+
+TieLevels quantize_scores(const std::vector<double>& scores, std::size_t levels) {
+  if (scores.empty()) throw std::invalid_argument("quantize_scores: empty scores");
+  if (levels == 0) throw std::invalid_argument("quantize_scores: need >= 1 level");
+  const auto [lo_it, hi_it] = std::minmax_element(scores.begin(), scores.end());
+  const double lo = *lo_it;
+  const double span = std::max(*hi_it - lo, 1e-300);
+
+  TieLevels out;
+  out.level.resize(scores.size());
+  std::vector<double> broken(scores.size());
+  std::uint32_t max_level = 0;
+  for (std::size_t p = 0; p < scores.size(); ++p) {
+    const double norm = (scores[p] - lo) / span;  // 0 = worst, 1 = best
+    auto bucket = static_cast<std::uint32_t>(norm * static_cast<double>(levels));
+    bucket = std::min<std::uint32_t>(bucket, static_cast<std::uint32_t>(levels - 1));
+    // Level 0 = best class.
+    out.level[p] = static_cast<std::uint32_t>(levels - 1) - bucket;
+    max_level = std::max(max_level, out.level[p]);
+    // Strict tie-break: inside a class, smaller id wins. The id term is
+    // scaled far below one class width.
+    broken[p] = static_cast<double>(levels - out.level[p]) -
+                static_cast<double>(p) / (2.0 * static_cast<double>(scores.size()));
+  }
+  out.levels = static_cast<std::size_t>(max_level) + 1;
+  out.ranking = GlobalRanking::from_scores(std::move(broken));
+  return out;
+}
+
+bool is_strictly_blocking_pair(const AcceptanceGraph& acc, const TieLevels& ties,
+                               const Matching& m, PeerId p, PeerId q) {
+  if (p == q) return false;
+  if (!acc.accepts(p, q)) return false;
+  if (m.are_matched(p, q)) return false;
+  auto strictly_wishes = [&](PeerId owner, PeerId other) {
+    if (!m.is_full(owner)) return true;
+    return ties.strictly_prefers(other, m.worst_mate(owner));
+  };
+  return strictly_wishes(p, q) && strictly_wishes(q, p);
+}
+
+bool is_weakly_stable(const AcceptanceGraph& acc, const TieLevels& ties, const Matching& m) {
+  for (PeerId p = 0; p < acc.size(); ++p) {
+    for (std::size_t i = 0; i < acc.degree(p); ++i) {
+      const PeerId q = acc.neighbor(p, i);
+      if (q < p) continue;
+      if (is_strictly_blocking_pair(acc, ties, m, p, q)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace strat::core

@@ -1,0 +1,54 @@
+// Ties in the global ranking (§3 "Note on ties").
+//
+// The paper excludes ties from the equations (stable matchings with
+// ties are hard: existence is not even guaranteed) but reports that
+// "simulations have shown our results hold if we allow ties". This
+// module provides the machinery for those simulations: quantize the
+// intrinsic scores into discrete levels (peers inside a level are
+// genuinely tied), break the ties deterministically by id to obtain a
+// strict ranking the solver can use, and check the *weak* stability of
+// the result — no pair may exist where BOTH sides strictly improve
+// across tie levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "core/matching.hpp"
+#include "core/ranking.hpp"
+
+namespace strat::core {
+
+/// A quantized score system: the strict tie-broken ranking plus each
+/// peer's tie level (level 0 = best).
+struct TieLevels {
+  GlobalRanking ranking;             // strict, ties broken by id
+  std::vector<std::uint32_t> level;  // peer -> tie class
+  std::size_t levels = 0;            // number of distinct classes
+
+  /// Strictly-better comparison across tie classes.
+  [[nodiscard]] bool strictly_prefers(PeerId a, PeerId b) const {
+    return level[a] < level[b];
+  }
+};
+
+/// Quantizes `scores` into at most `levels` equal-width classes over
+/// the score range (higher score = better = lower level index), then
+/// breaks ties by id (smaller id preferred). Throws
+/// std::invalid_argument for empty scores or levels == 0.
+[[nodiscard]] TieLevels quantize_scores(const std::vector<double>& scores, std::size_t levels);
+
+/// True iff {p, q} is a *strictly* blocking pair under tie levels:
+/// acceptable, unmatched, and each side has a free slot or a current
+/// worst mate in a strictly worse tie class than the other peer.
+[[nodiscard]] bool is_strictly_blocking_pair(const AcceptanceGraph& acc, const TieLevels& ties,
+                                             const Matching& m, PeerId p, PeerId q);
+
+/// Weak stability: no strictly blocking pair exists. Any configuration
+/// stable under a tie-breaking strict ranking is weakly stable for the
+/// underlying tied preferences (the §3 simulation claim).
+[[nodiscard]] bool is_weakly_stable(const AcceptanceGraph& acc, const TieLevels& ties,
+                                    const Matching& m);
+
+}  // namespace strat::core

@@ -1,0 +1,20 @@
+// Shared identifiers for the matching core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace strat::core {
+
+/// Dense 0-based peer identifier. With a static population the library
+/// conventionally uses id == rank (peer 0 is the best peer); under churn
+/// ids are arrival order and ranks are derived from scores.
+using PeerId = std::uint32_t;
+
+/// Sentinel "no peer" value.
+inline constexpr PeerId kNoPeer = std::numeric_limits<PeerId>::max();
+
+/// 0-based rank: 0 is the best peer, n-1 the worst.
+using Rank = std::uint32_t;
+
+}  // namespace strat::core

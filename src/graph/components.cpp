@@ -1,0 +1,92 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace strat::graph {
+
+std::size_t Components::largest() const noexcept {
+  if (size.empty()) return 0;
+  return *std::max_element(size.begin(), size.end());
+}
+
+double Components::mean_size() const noexcept {
+  if (size.empty()) return 0.0;
+  return static_cast<double>(label.size()) / static_cast<double>(size.size());
+}
+
+double Components::vertex_mean_size() const noexcept {
+  if (label.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t s : size) sum_sq += static_cast<double>(s) * static_cast<double>(s);
+  return sum_sq / static_cast<double>(label.size());
+}
+
+Components connected_components(const Graph& g) {
+  constexpr auto kUnlabelled = std::numeric_limits<std::uint32_t>::max();
+  Components out;
+  out.label.assign(g.order(), kUnlabelled);
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < g.order(); ++start) {
+    if (out.label[start] != kUnlabelled) continue;
+    const auto id = static_cast<std::uint32_t>(out.size.size());
+    out.size.push_back(0);
+    out.label[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      ++out.size[id];
+      for (Vertex v : g.neighbors(u)) {
+        if (out.label[v] == kUnlabelled) {
+          out.label[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.order() <= 1) return true;
+  return connected_components(g).count() == 1;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source) {
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  if (source >= g.order()) throw std::invalid_argument("bfs_distances: bad source");
+  std::vector<std::size_t> dist(g.order(), kInf);
+  std::vector<Vertex> frontier{source};
+  dist[source] = 0;
+  std::size_t level = 0;
+  std::vector<Vertex> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (Vertex u : frontier) {
+      for (Vertex v : g.neighbors(u)) {
+        if (dist[v] == kInf) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::size_t diameter(const Graph& g) {
+  if (g.order() <= 1) return 0;
+  if (!is_connected(g)) throw std::invalid_argument("diameter: graph is disconnected");
+  std::size_t best = 0;
+  for (Vertex u = 0; u < g.order(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (std::size_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace strat::graph

@@ -1,0 +1,45 @@
+// Connected-component and distance analysis.
+//
+// Used to measure clustering of the collaboration graph (Table 1,
+// Figure 6) and to check the b0 >= 3 connectivity lower bound (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace strat::graph {
+
+/// Component labelling of a graph.
+struct Components {
+  /// component id per vertex (0-based, dense).
+  std::vector<std::uint32_t> label;
+  /// size per component id.
+  std::vector<std::size_t> size;
+
+  [[nodiscard]] std::size_t count() const noexcept { return size.size(); }
+  [[nodiscard]] std::size_t largest() const noexcept;
+  /// Mean component size (vertices / components); 0 for empty graphs.
+  [[nodiscard]] double mean_size() const noexcept;
+  /// Peer-averaged component size: expected size of the component a
+  /// uniformly random vertex lives in. This is the "average cluster
+  /// size" a peer experiences (used for Table 1 / Figure 6).
+  [[nodiscard]] double vertex_mean_size() const noexcept;
+};
+
+/// Computes components via iterative BFS. O(V + E).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for order <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// BFS distances from `source`; unreachable vertices get SIZE_MAX.
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Exact diameter of the (connected) graph via per-vertex BFS; returns 0
+/// for order <= 1. Throws std::invalid_argument if disconnected.
+/// O(V·(V+E)) — intended for the small graphs in the cluster studies.
+[[nodiscard]] std::size_t diameter(const Graph& g);
+
+}  // namespace strat::graph

@@ -1,0 +1,40 @@
+// Erdős–Rényi random graph generation.
+//
+// The paper uses loopless symmetric G(n, d) graphs where d is the
+// *expected degree*: each of the n(n-1)/2 possible edges exists
+// independently with probability p = d/(n-1). We provide both the
+// p-parameterized and d-parameterized constructors, implemented with the
+// O(|E|) geometric edge-skip sampler so sparse large graphs are cheap.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::graph {
+
+/// Samples G(n, p): every unordered pair is an edge with probability p.
+/// Requires 0 <= p <= 1; throws std::invalid_argument otherwise.
+/// The returned graph is finalized (sorted adjacency).
+[[nodiscard]] Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// Samples G(n, d) with expected degree d, i.e. p = d/(n-1).
+/// Requires 0 <= d <= n-1 (and n >= 2 when d > 0).
+[[nodiscard]] Graph erdos_renyi_gnd(std::size_t n, double expected_degree, Rng& rng);
+
+/// Complete graph K_n (materialized; use core::CompleteAcceptance for the
+/// implicit O(1)-memory variant).
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Ring lattice where each vertex connects to its k nearest neighbors on
+/// each side (k >= 1); the unique connected 2-regular graph is the k=1
+/// cycle, used by the b0 >= 3 connectivity discussions.
+[[nodiscard]] Graph ring_lattice(std::size_t n, std::size_t k);
+
+/// Random b-regular-ish graph via the configuration model with retries
+/// (loops/multi-edges rejected per edge; residual stubs dropped). The
+/// result has max degree <= b; most vertices hit b exactly for n >> b.
+[[nodiscard]] Graph configuration_model(std::size_t n, std::size_t b, Rng& rng);
+
+}  // namespace strat::graph

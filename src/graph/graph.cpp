@@ -1,0 +1,64 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strat::graph {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+void Graph::add_edge(Vertex u, Vertex v, bool check_duplicate) {
+  if (u == v) throw std::invalid_argument("Graph::add_edge: loops are not allowed");
+  if (u >= order() || v >= order()) throw std::invalid_argument("Graph::add_edge: vertex out of range");
+  if (check_duplicate && has_edge(u, v)) {
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  }
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+  finalized_ = true;
+}
+
+std::size_t Graph::degree(Vertex u) const { return adjacency_.at(u).size(); }
+
+std::span<const Vertex> Graph::neighbors(Vertex u) const {
+  const auto& adj = adjacency_.at(u);
+  return {adj.data(), adj.size()};
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u == v || u >= order() || v >= order()) return false;
+  // Scan the smaller adjacency list.
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const Vertex needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  if (finalized_) return std::binary_search(a.begin(), a.end(), needle);
+  return std::find(a.begin(), a.end(), needle) != a.end();
+}
+
+void Graph::isolate(Vertex u) {
+  if (u >= order()) throw std::invalid_argument("Graph::isolate: vertex out of range");
+  for (Vertex v : adjacency_[u]) {
+    auto& back = adjacency_[v];
+    back.erase(std::remove(back.begin(), back.end(), u), back.end());
+  }
+  edge_count_ -= adjacency_[u].size();
+  adjacency_[u].clear();
+}
+
+Vertex Graph::grow(std::size_t count) {
+  const auto first = static_cast<Vertex>(order());
+  adjacency_.resize(order() + count);
+  return first;
+}
+
+double Graph::mean_degree() const noexcept {
+  if (order() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) / static_cast<double>(order());
+}
+
+}  // namespace strat::graph

@@ -1,0 +1,69 @@
+// Undirected simple graph with adjacency lists.
+//
+// Vertices are dense 0-based indices (the library maps peer ranks onto
+// them). The graph is loopless and stores each edge once per endpoint.
+// has_edge() is O(log deg) after finalize() (adjacency sorted), O(deg)
+// before; generators call finalize() on your behalf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace strat::graph {
+
+using Vertex = std::uint32_t;
+
+/// Undirected loopless simple graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph on `n` vertices.
+  explicit Graph(std::size_t n);
+
+  /// Number of vertices.
+  [[nodiscard]] std::size_t order() const noexcept { return adjacency_.size(); }
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t size() const noexcept { return edge_count_; }
+
+  /// Adds the undirected edge {u, v}.
+  /// Throws std::invalid_argument on a loop, out-of-range vertex, or
+  /// (when `check_duplicate`) a duplicate edge. Invalidates sortedness.
+  void add_edge(Vertex u, Vertex v, bool check_duplicate = false);
+
+  /// Sorts all adjacency lists; enables O(log deg) has_edge and makes
+  /// neighbor iteration rank-ordered (vertex id order).
+  void finalize();
+
+  /// True once finalize() has run and no edge was added since.
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Degree of `u`. Throws std::out_of_range on a bad vertex.
+  [[nodiscard]] std::size_t degree(Vertex u) const;
+
+  /// Neighbors of `u` (sorted ascending iff finalized()).
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex u) const;
+
+  /// Membership test for edge {u, v}; false for loops or bad vertices.
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// Removes vertex `u`'s incident edges (the vertex itself stays, with
+  /// degree 0). Used by churn. O(sum of neighbor degrees).
+  void isolate(Vertex u);
+
+  /// Appends `count` fresh isolated vertices; returns the first new id.
+  Vertex grow(std::size_t count);
+
+  /// Mean degree (2·|E| / |V|), 0 for the empty graph.
+  [[nodiscard]] double mean_degree() const noexcept;
+
+ private:
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::size_t edge_count_ = 0;
+  bool finalized_ = true;  // vacuously true while edgeless
+};
+
+}  // namespace strat::graph

@@ -1,0 +1,68 @@
+#include "sim/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strat::sim {
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known) {
+  program_ = argc > 0 ? argv[0] : "";
+  auto is_known = [&](const std::string& name) {
+    return std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: expected --flag, got '" + arg + "'");
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--name value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!is_known(name)) throw std::invalid_argument("Cli: unknown flag --" + name);
+    values_[name] = value;
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::optional<std::string> Cli::raw(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto v = raw(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto v = raw(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto v = raw(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+}  // namespace strat::sim

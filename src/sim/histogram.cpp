@@ -1,0 +1,84 @@
+#include "sim/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace strat::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<long>(std::floor((x - lo_) / bin_width_));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width_;
+}
+
+double Histogram::edge(std::size_t i) const { return lo_ + static_cast<double>(i) * bin_width_; }
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  for (std::size_t i = 0; i < counts_.size(); ++i) d[i] = counts_[i] / (total_ * bin_width_);
+  return d;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const double peak = counts_.empty() ? 0.0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[i] / peak * static_cast<double>(width)) : 0;
+    out << "[" << edge(i) << ", " << edge(i + 1) << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins) {
+  if (!(lo > 0.0 && lo < hi)) throw std::invalid_argument("LogHistogram: need 0 < lo < hi");
+  if (bins == 0) throw std::invalid_argument("LogHistogram: need at least one bin");
+  log_lo_ = std::log(lo);
+  log_hi_ = std::log(hi);
+  bin_width_ = (log_hi_ - log_lo_) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void LogHistogram::add(double x, double weight) {
+  if (x <= 0.0) throw std::invalid_argument("LogHistogram::add: x must be positive");
+  auto idx = static_cast<long>(std::floor((std::log(x) - log_lo_) / bin_width_));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::center(std::size_t i) const {
+  return std::exp(log_lo_ + (static_cast<double>(i) + 0.5) * bin_width_);
+}
+
+double LogHistogram::edge(std::size_t i) const {
+  return std::exp(log_lo_ + static_cast<double>(i) * bin_width_);
+}
+
+std::vector<double> LogHistogram::cumulative_fraction() const {
+  std::vector<double> cum(counts_.size(), 0.0);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    cum[i] = total_ > 0.0 ? running / total_ : 0.0;
+  }
+  return cum;
+}
+
+}  // namespace strat::sim

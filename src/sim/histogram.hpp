@@ -1,0 +1,74 @@
+// Fixed-bin histograms (linear and logarithmic) for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace strat::sim {
+
+/// Equal-width histogram over [lo, hi). Out-of-range samples are clamped
+/// into the first/last bin so total mass is conserved.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation with optional weight.
+  void add(double x, double weight = 1.0);
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Weight accumulated in bin `i`.
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+
+  /// Center of bin `i`.
+  [[nodiscard]] double center(std::size_t i) const;
+
+  /// Lower edge of bin `i` (edge(bins()) is the upper bound).
+  [[nodiscard]] double edge(std::size_t i) const;
+
+  /// Total accumulated weight.
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// counts normalized so the histogram integrates to 1 (density).
+  /// Returns all-zero densities if the histogram is empty.
+  [[nodiscard]] std::vector<double> density() const;
+
+  /// ASCII sparkline-style rendering, one line per bin.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Histogram with logarithmically spaced bins over [lo, hi); lo must be > 0.
+class LogHistogram {
+ public:
+  /// Throws std::invalid_argument unless 0 < lo < hi and bins >= 1.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+  /// Geometric center of bin `i`.
+  [[nodiscard]] double center(std::size_t i) const;
+  [[nodiscard]] double edge(std::size_t i) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Cumulative fraction of mass at or below each bin's upper edge.
+  [[nodiscard]] std::vector<double> cumulative_fraction() const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  double bin_width_;  // in log space
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace strat::sim

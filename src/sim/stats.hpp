@@ -1,0 +1,84 @@
+// Summary statistics used by the simulation harnesses and benches.
+//
+// OnlineStats accumulates mean/variance in one pass (Welford); Summary
+// computes order statistics from a stored sample. Both are deliberately
+// simple value types so benches can copy them around freely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace strat::sim {
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) memory. Use when the sample
+/// itself need not be retained (e.g. per-round swarm rates).
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const OnlineStats& other) noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Sample mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order-statistics summary of a stored sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary from `values` (copied and sorted internally).
+/// Returns an all-zero summary for an empty input.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0,1].
+/// Throws std::invalid_argument if the sample is empty or q is out of range.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Pearson correlation of two equally sized samples.
+/// Throws std::invalid_argument on size mismatch or fewer than 2 points;
+/// returns 0 when either sample has zero variance.
+[[nodiscard]] double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (ties get average ranks).
+/// Same preconditions as pearson().
+[[nodiscard]] double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace strat::sim

@@ -1,0 +1,111 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace strat::sim {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::scientific);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: expected " + std::to_string(headers_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string ascii_series(const std::vector<double>& xs, const std::vector<double>& ys,
+                         std::size_t width, int x_precision, int y_precision) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("ascii_series: size mismatch");
+  if (xs.empty()) return "";
+  const double lo = *std::min_element(ys.begin(), ys.end());
+  const double hi = *std::max_element(ys.begin(), ys.end());
+  const double span = hi - lo;
+  std::ostringstream out;
+  std::size_t label_width = 0;
+  std::vector<std::string> labels(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    labels[i] = fmt(xs[i], x_precision);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double frac = span > 0.0 ? (ys[i] - lo) / span : 0.0;
+    const auto bar = static_cast<std::size_t>(std::lround(frac * static_cast<double>(width)));
+    out << labels[i] << std::string(label_width - labels[i].size(), ' ') << " | "
+        << std::string(bar, '#') << " " << fmt(ys[i], y_precision) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace strat::sim

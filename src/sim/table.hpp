@@ -1,0 +1,54 @@
+// ASCII / CSV table emitters used by every bench harness.
+//
+// A Table is built row by row; render() produces an aligned ASCII table
+// (what the benches print by default) and to_csv() a CSV document
+// (printed when --csv is passed). Cells are stored as strings; helpers
+// format doubles with a fixed precision.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace strat::sim {
+
+/// Formats `v` with `precision` digits after the decimal point.
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+
+/// Formats `v` in scientific notation with `precision` significant digits.
+[[nodiscard]] std::string fmt_sci(double v, int precision = 3);
+
+/// Simple row-major string table with a header.
+class Table {
+ public:
+  /// Creates a table with the given column headers (at least one).
+  /// Throws std::invalid_argument on an empty header list.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header width.
+  /// Throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Aligned ASCII rendering with a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an x/y series as a crude ASCII line chart, one row per point:
+/// `x | ####### y`. Useful to eyeball the shape of reproduced figures.
+[[nodiscard]] std::string ascii_series(const std::vector<double>& xs,
+                                       const std::vector<double>& ys, std::size_t width = 60,
+                                       int x_precision = 2, int y_precision = 4);
+
+}  // namespace strat::sim

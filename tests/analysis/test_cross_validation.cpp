@@ -1,0 +1,115 @@
+// Cross-validation across the three probability engines: exact
+// enumeration (tiny n), Algorithm 2/3 (independence approximation) and
+// Monte-Carlo (exact sampling). They must agree wherever their domains
+// overlap; this is the test-suite analogue of Figures 7 and 9.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/exact_small.hpp"
+#include "analysis/independent_bmatching.hpp"
+#include "analysis/independent_matching.hpp"
+#include "analysis/monte_carlo.hpp"
+
+namespace strat::analysis {
+namespace {
+
+using Param = std::tuple<std::size_t, double, std::size_t>;  // n, p, b0
+
+class ExactVsApproxSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ExactVsApproxSweep, Algorithm3TracksExactEnumeration) {
+  const auto [n, p, b0] = GetParam();
+  const ExactSmallModel exact(n, p, b0);
+  BMatchingOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.b0 = b0;
+  for (core::PeerId i = 0; i < n; ++i) opt.capture_rows.push_back(i);
+  const auto approx = analyze_bmatching(opt);
+  // The independence approximation error is O(p^3) (Figure 7); at these
+  // p values a uniform absolute bound holds across all entries.
+  const double tolerance = std::max(5e-3, 3.0 * p * p * p);
+  for (core::PeerId i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < b0; ++c) {
+      for (core::PeerId j = 0; j < n; ++j) {
+        EXPECT_NEAR(approx.rows.at(i)[c][j], exact.d_choice(i, c, j), tolerance)
+            << "n=" << n << " p=" << p << " b0=" << b0 << " i=" << i << " c=" << c
+            << " j=" << j;
+      }
+      EXPECT_NEAR(approx.mass(i, c), exact.match_mass(i, c), tolerance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ExactVsApproxSweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(3, 4, 5),
+                                            ::testing::Values(0.02, 0.05, 0.1),
+                                            ::testing::Values<std::size_t>(1, 2)));
+
+TEST(CrossValidation, MonteCarloMatchesExactEnumeration) {
+  // MC is an unbiased sampler of the exact distribution: at tiny n the
+  // histogram converges to ExactSmallModel for ANY p, including large p
+  // where the independence approximation breaks.
+  graph::Rng rng(11);
+  const std::size_t n = 4;
+  const double p = 0.6;  // far outside the approximation's comfort zone
+  const ExactSmallModel exact(n, p, 2);
+  MonteCarloOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.b0 = 2;
+  opt.realizations = 60000;
+  opt.tracked = {0, 3};
+  const auto mc = estimate_mate_distribution(opt, rng);
+  for (std::size_t t = 0; t < 2; ++t) {
+    const core::PeerId peer = opt.tracked[t];
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (core::PeerId j = 0; j < n; ++j) {
+        EXPECT_NEAR(mc.probability(t, c, j), exact.d_choice(peer, c, j), 0.01)
+            << "peer " << peer << " c " << c << " j " << j;
+      }
+    }
+  }
+}
+
+TEST(CrossValidation, Algorithm2EqualsAlgorithm3FirstChoiceAtB1) {
+  // Redundant engines must agree exactly, not just approximately.
+  const std::size_t n = 200;
+  const double p = 0.06;
+  const Independent1Matching alg2(n, p);
+  BMatchingOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.b0 = 1;
+  opt.capture_rows = {0, 100, 199};
+  const auto alg3 = analyze_bmatching(opt);
+  for (const core::PeerId i : {0u, 100u, 199u}) {
+    for (core::PeerId j = 0; j < n; ++j) {
+      EXPECT_NEAR(alg3.rows.at(i)[0][j], alg2.d(i, j), 1e-13);
+    }
+  }
+}
+
+TEST(CrossValidation, StreamingAndMatrixAlgorithm2AgreeAtScale) {
+  const std::size_t n = 600;
+  const double p = 12.0 / static_cast<double>(n - 1);
+  const Independent1Matching matrix(n, p);
+  StreamingOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.capture_rows = {0, 300, 599};
+  const auto streamed = independent_1matching_streaming(opt);
+  for (const core::PeerId i : {0u, 300u, 599u}) {
+    const auto& row = streamed.rows.at(i);
+    for (core::PeerId j = 0; j < n; ++j) {
+      EXPECT_NEAR(row[j], matrix.d(i, j), 1e-13);
+    }
+  }
+  for (core::PeerId i = 0; i < n; ++i) {
+    EXPECT_NEAR(streamed.mass[i], matrix.mass(i), 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace strat::analysis

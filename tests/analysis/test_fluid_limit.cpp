@@ -1,0 +1,105 @@
+#include "analysis/fluid_limit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/independent_matching.hpp"
+
+namespace strat::analysis {
+namespace {
+
+TEST(FluidLimit, DensityBasics) {
+  EXPECT_DOUBLE_EQ(fluid_density_alpha0(0.0, 10.0), 10.0);
+  EXPECT_NEAR(fluid_density_alpha0(0.1, 10.0), 10.0 * std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(fluid_density_alpha0(-0.5, 10.0), 0.0);
+  EXPECT_THROW((void)fluid_density_alpha0(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fluid_density_alpha0(0.1, -1.0), std::invalid_argument);
+}
+
+TEST(FluidLimit, DensityIntegratesToOne) {
+  const double d = 8.0;
+  double integral = 0.0;
+  const double step = 1e-4;
+  for (double beta = 0.0; beta < 4.0; beta += step) {
+    integral += fluid_density_alpha0(beta, d) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(RescaleRow, CoordinatesAndValues) {
+  const std::vector<double> row{0.0, 0.5, 0.25, 0.125};
+  const auto scaled = rescale_row(row, 0);
+  ASSERT_EQ(scaled.size(), 3u);
+  EXPECT_DOUBLE_EQ(scaled[0].beta, 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(scaled[0].density, 4.0 * 0.5);
+  EXPECT_DOUBLE_EQ(scaled[2].beta, 3.0 / 4.0);
+}
+
+TEST(RescaleRow, WorseOnlyFiltersBetterPeers) {
+  const std::vector<double> row{0.1, 0.0, 0.2, 0.3};
+  const auto all = rescale_row(row, 1, /*worse_only=*/false);
+  const auto worse = rescale_row(row, 1, /*worse_only=*/true);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(worse.size(), 2u);
+  EXPECT_LT(all.front().beta, 0.0);
+  EXPECT_GT(worse.front().beta, 0.0);
+}
+
+TEST(FluidLimit, Conjecture1BestPeerRowConverges) {
+  // Scaled best-peer mate distribution approaches d e^{-beta d} as n
+  // grows with p = d/n: the sup error must shrink.
+  const double d = 10.0;
+  auto sup_error_at = [&](std::size_t n) {
+    StreamingOptions opt;
+    opt.n = n;
+    opt.p = d / static_cast<double>(n);
+    opt.capture_rows = {0};
+    const auto result = independent_1matching_streaming(opt);
+    return fluid_limit_sup_error(result.rows.at(0), d);
+  };
+  const double e_small = sup_error_at(200);
+  const double e_large = sup_error_at(3200);
+  EXPECT_LT(e_large, e_small);
+  EXPECT_LT(e_large, 0.5);  // densities are O(d)=10, so 0.5 is ~5% error
+}
+
+TEST(FluidLimit, BestPeerRowPointwiseMatch) {
+  // Pointwise: n D(1, 1+floor(beta n)) ~= d e^{-beta d}.
+  const double d = 6.0;
+  const std::size_t n = 4000;
+  StreamingOptions opt;
+  opt.n = n;
+  opt.p = d / static_cast<double>(n);
+  opt.capture_rows = {0};
+  const auto result = independent_1matching_streaming(opt);
+  const auto& row = result.rows.at(0);
+  for (const double beta : {0.05, 0.1, 0.2, 0.4}) {
+    const auto j = static_cast<std::size_t>(beta * static_cast<double>(n));
+    const double scaled = static_cast<double>(n) * row[j];
+    EXPECT_NEAR(scaled, fluid_density_alpha0(beta, d), 0.15 * d) << "beta=" << beta;
+  }
+}
+
+TEST(FluidLimit, ScaleFreeShapeAcrossN) {
+  // §5.2/§6: the scaled shape does not depend on n (the paper's
+  // argument that the model "does not depend on the network size").
+  const double d = 12.0;
+  auto scaled_at = [&](std::size_t n, double beta) {
+    StreamingOptions opt;
+    opt.n = n;
+    opt.p = d / static_cast<double>(n);
+    opt.capture_rows = {0};
+    const auto result = independent_1matching_streaming(opt);
+    const auto j = static_cast<std::size_t>(beta * static_cast<double>(n));
+    return static_cast<double>(n) * result.rows.at(0)[j];
+  };
+  for (const double beta : {0.05, 0.15}) {
+    const double v1 = scaled_at(1000, beta);
+    const double v2 = scaled_at(2000, beta);
+    EXPECT_NEAR(v1, v2, 0.08 * std::max(v1, v2)) << "beta=" << beta;
+  }
+}
+
+}  // namespace
+}  // namespace strat::analysis

@@ -1,0 +1,105 @@
+#include "bittorrent/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace strat::bt {
+namespace {
+
+TEST(BandwidthModel, Validation) {
+  EXPECT_THROW(BandwidthModel({}), std::invalid_argument);
+  EXPECT_THROW(BandwidthModel({{0.5, 100.0, 0.1, "a"}}), std::invalid_argument);  // sum != 1
+  EXPECT_THROW(BandwidthModel({{1.0, -5.0, 0.1, "a"}}), std::invalid_argument);
+  EXPECT_THROW(BandwidthModel({{1.0, 100.0, 0.0, "a"}}), std::invalid_argument);
+}
+
+TEST(BandwidthModel, CdfIsMonotoneFromZeroToOne) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  EXPECT_DOUBLE_EQ(model.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.cdf(-5.0), 0.0);
+  double prev = 0.0;
+  for (double x = 1.0; x < 1e6; x *= 1.5) {
+    const double c = model.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_GT(model.cdf(1e6), 0.999);
+}
+
+TEST(BandwidthModel, SaroiuAnatomy) {
+  // Figure 10's qualitative waypoints (see DESIGN.md §5): roughly 20%
+  // below 100 kbps, a wide middle, >90% below 10 Mbps.
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  EXPECT_NEAR(model.cdf(100.0), 0.20, 0.07);
+  EXPECT_NEAR(model.cdf(1000.0), 0.75, 0.08);
+  EXPECT_GT(model.cdf(10000.0), 0.85);
+  EXPECT_LT(model.cdf(10.0), 0.02);
+}
+
+TEST(BandwidthModel, QuantileInvertsCdf) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = model.quantile(q);
+    EXPECT_NEAR(model.cdf(x), q, 1e-6) << "q=" << q;
+  }
+  EXPECT_THROW((void)model.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.quantile(1.0), std::invalid_argument);
+}
+
+TEST(BandwidthModel, PdfIntegratesToOne) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  // Integrate in log space: f(x) dx = f(e^u) e^u du.
+  double integral = 0.0;
+  const double du = 0.001;
+  for (double u = std::log(1.0); u < std::log(1e7); u += du) {
+    const double x = std::exp(u);
+    integral += model.pdf(x) * x * du;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(BandwidthModel, PdfHasDensityPeaks) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  // Density at a technology median dominates the density between peaks.
+  EXPECT_GT(model.pdf(128.0), model.pdf(220.0));
+  EXPECT_GT(model.pdf(384.0), model.pdf(220.0));
+}
+
+TEST(BandwidthModel, SamplesFollowTheCdf) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  graph::Rng rng(9);
+  const int draws = 20000;
+  int below_100 = 0;
+  int below_1000 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double x = model.sample(rng);
+    EXPECT_GT(x, 0.0);
+    if (x <= 100.0) ++below_100;
+    if (x <= 1000.0) ++below_1000;
+  }
+  EXPECT_NEAR(static_cast<double>(below_100) / draws, model.cdf(100.0), 0.02);
+  EXPECT_NEAR(static_cast<double>(below_1000) / draws, model.cdf(1000.0), 0.02);
+}
+
+TEST(BandwidthModel, RepresentativeSampleIsStrictlyDescending) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  const auto sample = model.representative_sample(500);
+  ASSERT_EQ(sample.size(), 500u);
+  for (std::size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i], sample[i - 1]) << "at " << i;
+  }
+  // Extremes span the distribution's support.
+  EXPECT_GT(sample.front(), 5000.0);
+  EXPECT_LT(sample.back(), 100.0);
+}
+
+TEST(BandwidthModel, RepresentativeSampleMedianMatchesQuantile) {
+  const BandwidthModel model = BandwidthModel::saroiu2002();
+  const auto sample = model.representative_sample(1001);
+  EXPECT_NEAR(sample[500], model.quantile(0.5), model.quantile(0.5) * 0.02);
+}
+
+}  // namespace
+}  // namespace strat::bt

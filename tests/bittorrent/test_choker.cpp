@@ -1,0 +1,130 @@
+#include "bittorrent/choker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace strat::bt {
+namespace {
+
+std::vector<ChokeCandidate> make_candidates(
+    std::initializer_list<std::tuple<core::PeerId, double, bool>> entries) {
+  std::vector<ChokeCandidate> out;
+  for (const auto& [peer, score, interested] : entries) {
+    out.push_back({peer, score, interested});
+  }
+  return out;
+}
+
+TEST(Choker, SelectsTopScorersPlusOptimistic) {
+  graph::Rng rng(1);
+  TftChoker choker(2, 3);
+  const auto unchoked = choker.select(
+      make_candidates({{1, 10.0, true}, {2, 50.0, true}, {3, 30.0, true}, {4, 5.0, true}}),
+      rng);
+  // Two regular slots: peers 2 and 3; one optimistic from {1, 4}.
+  ASSERT_EQ(unchoked.size(), 3u);
+  EXPECT_NE(std::find(unchoked.begin(), unchoked.end(), 2u), unchoked.end());
+  EXPECT_NE(std::find(unchoked.begin(), unchoked.end(), 3u), unchoked.end());
+  EXPECT_TRUE(unchoked[2] == 1u || unchoked[2] == 4u);
+  EXPECT_EQ(choker.optimistic(), unchoked[2]);
+}
+
+TEST(Choker, IgnoresUninterestedCandidates) {
+  graph::Rng rng(2);
+  TftChoker choker(2, 3);
+  const auto unchoked = choker.select(
+      make_candidates({{1, 100.0, false}, {2, 1.0, true}, {3, 2.0, true}}), rng);
+  EXPECT_EQ(unchoked.size(), 2u);
+  EXPECT_EQ(std::find(unchoked.begin(), unchoked.end(), 1u), unchoked.end());
+}
+
+TEST(Choker, FewerCandidatesThanSlots) {
+  graph::Rng rng(3);
+  TftChoker choker(3, 3);
+  const auto unchoked = choker.select(make_candidates({{7, 1.0, true}}), rng);
+  EXPECT_EQ(unchoked.size(), 1u);
+  EXPECT_EQ(unchoked[0], 7u);
+  EXPECT_EQ(choker.optimistic(), core::kNoPeer);
+}
+
+TEST(Choker, EmptyCandidates) {
+  graph::Rng rng(4);
+  TftChoker choker(3, 3);
+  EXPECT_TRUE(choker.select({}, rng).empty());
+}
+
+TEST(Choker, OptimisticPersistsAcrossRounds) {
+  graph::Rng rng(5);
+  TftChoker choker(1, 3);
+  const auto candidates =
+      make_candidates({{1, 10.0, true}, {2, 0.0, true}, {3, 0.0, true}, {4, 0.0, true}});
+  const auto first = choker.select(candidates, rng);
+  const core::PeerId target = choker.optimistic();
+  ASSERT_NE(target, core::kNoPeer);
+  // Round 2 (rotation period 3 not yet reached): same optimistic target.
+  (void)choker.select(candidates, rng);
+  EXPECT_EQ(choker.optimistic(), target);
+}
+
+TEST(Choker, OptimisticEventuallyRotates) {
+  graph::Rng rng(6);
+  TftChoker choker(1, 2);
+  const auto candidates = make_candidates(
+      {{1, 10.0, true}, {2, 0.0, true}, {3, 0.0, true}, {4, 0.0, true}, {5, 0.0, true}});
+  std::set<core::PeerId> seen;
+  for (int round = 0; round < 40; ++round) {
+    (void)choker.select(candidates, rng);
+    if (choker.optimistic() != core::kNoPeer) seen.insert(choker.optimistic());
+  }
+  // Rotation explores multiple targets over 40 rounds.
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(Choker, OptimisticRefreshedWhenPromoted) {
+  graph::Rng rng(7);
+  TftChoker choker(1, 100);  // long rotation: only promotion forces refresh
+  auto candidates = make_candidates({{1, 10.0, true}, {2, 0.0, true}, {3, 0.0, true}});
+  (void)choker.select(candidates, rng);
+  const core::PeerId target = choker.optimistic();
+  ASSERT_NE(target, core::kNoPeer);
+  // The optimistic target starts reciprocating heavily -> becomes a
+  // regular unchoke; the optimistic slot must move elsewhere.
+  for (auto& c : candidates) {
+    if (c.peer == target) c.score = 100.0;
+  }
+  const auto unchoked = choker.select(candidates, rng);
+  EXPECT_EQ(unchoked.front(), target);            // regular slot now
+  EXPECT_NE(choker.optimistic(), target);         // refreshed
+}
+
+TEST(Choker, ScoreTiesBrokenRandomly) {
+  // With all scores zero and 1 regular slot, repeated fresh chokers
+  // should not always pick the same peer.
+  std::set<core::PeerId> picks;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    graph::Rng rng(seed);
+    TftChoker choker(1, 3);
+    const auto unchoked =
+        choker.select(make_candidates({{1, 0.0, true}, {2, 0.0, true}, {3, 0.0, true}}), rng);
+    ASSERT_GE(unchoked.size(), 1u);
+    picks.insert(unchoked[0]);
+  }
+  EXPECT_GE(picks.size(), 2u);
+}
+
+TEST(Choker, NeverUnchokesMoreThanSlotsPlusOne) {
+  graph::Rng rng(8);
+  TftChoker choker(3, 3);
+  std::vector<ChokeCandidate> many;
+  for (core::PeerId p = 0; p < 20; ++p) many.push_back({p, static_cast<double>(p), true});
+  const auto unchoked = choker.select(many, rng);
+  EXPECT_LE(unchoked.size(), 4u);
+  // No duplicates.
+  const std::set<core::PeerId> unique(unchoked.begin(), unchoked.end());
+  EXPECT_EQ(unique.size(), unchoked.size());
+}
+
+}  // namespace
+}  // namespace strat::bt

@@ -1,0 +1,146 @@
+#include "bittorrent/piece_picker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace strat::bt {
+namespace {
+
+TEST(Bitfield, StartsEmpty) {
+  const Bitfield b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.complete());
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(99));
+}
+
+TEST(Bitfield, SetResetCount) {
+  Bitfield b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);  // crosses the word boundary
+  b.set(69);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.set(64);  // idempotent
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(64);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_FALSE(b.test(64));
+  b.reset(64);  // idempotent
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitfield, CompleteDetection) {
+  Bitfield b(3);
+  b.set(0);
+  b.set(1);
+  EXPECT_FALSE(b.complete());
+  b.set(2);
+  EXPECT_TRUE(b.complete());
+}
+
+TEST(Bitfield, BoundsChecking) {
+  Bitfield b(8);
+  EXPECT_THROW((void)b.test(8), std::out_of_range);
+  EXPECT_THROW(b.set(8), std::out_of_range);
+  EXPECT_THROW(b.reset(100), std::out_of_range);
+}
+
+TEST(Bitfield, InterestedInSemantics) {
+  Bitfield local(10);
+  Bitfield remote(10);
+  EXPECT_FALSE(local.interested_in(remote));  // remote has nothing
+  remote.set(4);
+  EXPECT_TRUE(local.interested_in(remote));
+  local.set(4);
+  EXPECT_FALSE(local.interested_in(remote));  // already have it
+  remote.set(9);
+  EXPECT_TRUE(local.interested_in(remote));
+}
+
+TEST(Bitfield, InterestedInSizeMismatchThrows) {
+  const Bitfield a(4);
+  const Bitfield b(5);
+  EXPECT_THROW((void)a.interested_in(b), std::invalid_argument);
+}
+
+TEST(PiecePicker, AvailabilityBookkeeping) {
+  PiecePicker picker(5);
+  EXPECT_EQ(picker.availability(3), 0u);
+  picker.add_availability(3);
+  picker.add_availability(3);
+  EXPECT_EQ(picker.availability(3), 2u);
+  EXPECT_THROW((void)picker.add_availability(5), std::out_of_range);
+}
+
+TEST(PiecePicker, PicksRarestUsefulPiece) {
+  graph::Rng rng(1);
+  PiecePicker picker(4);
+  // Piece availabilities: 0 -> 3 copies, 1 -> 1 copy, 2 -> 2, 3 -> 5.
+  for (int i = 0; i < 3; ++i) picker.add_availability(0);
+  picker.add_availability(1);
+  for (int i = 0; i < 2; ++i) picker.add_availability(2);
+  for (int i = 0; i < 5; ++i) picker.add_availability(3);
+  Bitfield local(4);
+  Bitfield remote(4);
+  remote.set(0);
+  remote.set(1);
+  remote.set(3);
+  const auto pick = picker.pick_rarest(local, remote, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);  // rarest among {0, 1, 3}
+}
+
+TEST(PiecePicker, SkipsPiecesAlreadyHeld) {
+  graph::Rng rng(2);
+  PiecePicker picker(3);
+  picker.add_availability(0);
+  for (int i = 0; i < 4; ++i) picker.add_availability(1);
+  Bitfield local(3);
+  local.set(0);  // the rarest piece is already held
+  Bitfield remote(3);
+  remote.set(0);
+  remote.set(1);
+  const auto pick = picker.pick_rarest(local, remote, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(PiecePicker, NothingUsefulReturnsNullopt) {
+  graph::Rng rng(3);
+  PiecePicker picker(3);
+  Bitfield local(3);
+  local.set(0);
+  local.set(1);
+  local.set(2);
+  Bitfield remote(3);
+  remote.set(1);
+  EXPECT_FALSE(picker.pick_rarest(local, remote, rng).has_value());
+  const Bitfield empty_remote(3);
+  const Bitfield empty_local(3);
+  EXPECT_FALSE(picker.pick_rarest(empty_local, empty_remote, rng).has_value());
+}
+
+TEST(PiecePicker, TieBreakingIsUniformish) {
+  PiecePicker picker(3);  // all availabilities zero: 3-way tie
+  Bitfield local(3);
+  Bitfield remote(3);
+  remote.set(0);
+  remote.set(1);
+  remote.set(2);
+  graph::Rng rng(4);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    const auto pick = picker.pick_rarest(local, remote, rng);
+    ASSERT_TRUE(pick.has_value());
+    ++counts[*pick];
+  }
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / 3000.0, 1.0 / 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace strat::bt

@@ -1,0 +1,147 @@
+#include "core/acceptance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+graph::Graph triangle_plus_isolated() {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.finalize();
+  return g;
+}
+
+TEST(ExplicitAcceptance, BasicQueries) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  EXPECT_EQ(acc.size(), 4u);
+  EXPECT_TRUE(acc.accepts(0, 1));
+  EXPECT_TRUE(acc.accepts(1, 0));
+  EXPECT_FALSE(acc.accepts(0, 3));
+  EXPECT_FALSE(acc.accepts(2, 2));
+  EXPECT_EQ(acc.degree(0), 2u);
+  EXPECT_EQ(acc.degree(3), 0u);
+}
+
+TEST(ExplicitAcceptance, NeighborsInPreferenceOrder) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  // Peer 2 accepts 0 and 1; 0 is better.
+  EXPECT_EQ(acc.neighbor(2, 0), 0u);
+  EXPECT_EQ(acc.neighbor(2, 1), 1u);
+}
+
+TEST(ExplicitAcceptance, PreferenceOrderFollowsScoresNotIds) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.finalize();
+  // Peer 2 outranks peer 1.
+  const GlobalRanking ranking = GlobalRanking::from_scores({5.0, 1.0, 3.0});
+  const ExplicitAcceptance acc(g, ranking);
+  EXPECT_EQ(acc.neighbor(0, 0), 2u);
+  EXPECT_EQ(acc.neighbor(0, 1), 1u);
+}
+
+TEST(ExplicitAcceptance, AddEdgeKeepsOrder) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  acc.add_edge(3, 1);
+  EXPECT_TRUE(acc.accepts(1, 3));
+  EXPECT_EQ(acc.degree(1), 3u);
+  EXPECT_EQ(acc.neighbor(1, 0), 0u);
+  EXPECT_EQ(acc.neighbor(1, 1), 2u);
+  EXPECT_EQ(acc.neighbor(1, 2), 3u);
+}
+
+TEST(ExplicitAcceptance, AddEdgeValidation) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  EXPECT_THROW(acc.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(acc.add_edge(0, 1), std::invalid_argument);  // duplicate
+  EXPECT_THROW(acc.add_edge(0, 9), std::invalid_argument);
+}
+
+TEST(ExplicitAcceptance, IsolateClearsBothSides) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  acc.isolate(1);
+  EXPECT_EQ(acc.degree(1), 0u);
+  EXPECT_FALSE(acc.accepts(0, 1));
+  EXPECT_FALSE(acc.accepts(2, 1));
+  EXPECT_TRUE(acc.accepts(0, 2));
+}
+
+TEST(ExplicitAcceptance, AddPeerRequiresScoreFirst) {
+  GlobalRanking ranking = GlobalRanking::identity(4);
+  ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  EXPECT_THROW(acc.add_peer(), std::invalid_argument);
+  ranking.append(0.5);
+  const PeerId id = acc.add_peer();
+  EXPECT_EQ(id, 4u);
+  EXPECT_EQ(acc.degree(4), 0u);
+  acc.add_edge(4, 0);
+  EXPECT_TRUE(acc.accepts(0, 4));
+}
+
+TEST(ExplicitAcceptance, RankingLargerThanGraphIsAllowed) {
+  const GlobalRanking ranking = GlobalRanking::identity(10);
+  const ExplicitAcceptance acc(triangle_plus_isolated(), ranking);
+  EXPECT_EQ(acc.size(), 4u);
+}
+
+TEST(ExplicitAcceptance, GraphLargerThanRankingRejected) {
+  const GlobalRanking ranking = GlobalRanking::identity(2);
+  EXPECT_THROW(ExplicitAcceptance(triangle_plus_isolated(), ranking), std::invalid_argument);
+}
+
+TEST(CompleteAcceptance, EverybodyAcceptsEverybody) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  const CompleteAcceptance acc(5, ranking);
+  for (PeerId p = 0; p < 5; ++p) {
+    EXPECT_EQ(acc.degree(p), 4u);
+    for (PeerId q = 0; q < 5; ++q) {
+      EXPECT_EQ(acc.accepts(p, q), p != q);
+    }
+  }
+}
+
+TEST(CompleteAcceptance, NeighborSkipsSelf) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  // Peer 2 (rank 2): preference order 0, 1, 3.
+  EXPECT_EQ(acc.neighbor(2, 0), 0u);
+  EXPECT_EQ(acc.neighbor(2, 1), 1u);
+  EXPECT_EQ(acc.neighbor(2, 2), 3u);
+  // Best peer: 1, 2, 3.
+  EXPECT_EQ(acc.neighbor(0, 0), 1u);
+  EXPECT_EQ(acc.neighbor(0, 2), 3u);
+}
+
+TEST(CompleteAcceptance, NonIdentityRanking) {
+  const GlobalRanking ranking = GlobalRanking::from_scores({1.0, 3.0, 2.0});
+  const CompleteAcceptance acc(3, ranking);
+  // Rank order: 1, 2, 0. Peer 0's preferences: 1 then 2.
+  EXPECT_EQ(acc.neighbor(0, 0), 1u);
+  EXPECT_EQ(acc.neighbor(0, 1), 2u);
+  // Peer 1 (best): 2 then 0.
+  EXPECT_EQ(acc.neighbor(1, 0), 2u);
+  EXPECT_EQ(acc.neighbor(1, 1), 0u);
+}
+
+TEST(CompleteAcceptance, BoundsChecking) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  const CompleteAcceptance acc(3, ranking);
+  EXPECT_THROW((void)acc.neighbor(0, 2), std::out_of_range);
+  EXPECT_THROW((void)acc.degree(3), std::out_of_range);
+  EXPECT_THROW(CompleteAcceptance(4, ranking), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,162 @@
+#include "core/bilateral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/erdos_renyi.hpp"
+#include "sim/stats.hpp"
+
+namespace strat::core {
+namespace {
+
+BilateralConfig config(std::uint32_t up, std::uint32_t down, ServerPolicy policy) {
+  BilateralConfig cfg;
+  cfg.upload_slots = up;
+  cfg.download_slots = down;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Bilateral, Validation) {
+  graph::Rng rng(1);
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  EXPECT_THROW((void)bilateral_assignment(acc, ranking,
+                                          config(0, 2, ServerPolicy::kGlobalRank), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)bilateral_assignment(acc, ranking,
+                                          config(2, 0, ServerPolicy::kGlobalRank), rng),
+               std::invalid_argument);
+}
+
+TEST(Bilateral, RespectsSlotBounds) {
+  graph::Rng rng(2);
+  const std::size_t n = 40;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 12.0, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  for (const ServerPolicy policy : {ServerPolicy::kRandomQueue, ServerPolicy::kGlobalRank}) {
+    const auto cfg = config(3, 2, policy);
+    const BilateralAssignment a = bilateral_assignment(acc, ranking, cfg, rng);
+    for (PeerId p = 0; p < n; ++p) {
+      EXPECT_LE(a.serves[p].size(), 3u);
+      EXPECT_LE(a.sources[p].size(), 2u);
+      // No duplicates and only acceptable pairs.
+      std::set<PeerId> unique(a.sources[p].begin(), a.sources[p].end());
+      EXPECT_EQ(unique.size(), a.sources[p].size());
+      for (PeerId q : a.sources[p]) EXPECT_TRUE(acc.accepts(p, q));
+    }
+  }
+}
+
+TEST(Bilateral, ServesAndSourcesAreConsistent) {
+  graph::Rng rng(3);
+  const std::size_t n = 30;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  const BilateralAssignment a =
+      bilateral_assignment(acc, ranking, config(2, 2, ServerPolicy::kRandomQueue), rng);
+  std::size_t serve_edges = 0;
+  for (PeerId q = 0; q < n; ++q) {
+    for (PeerId p : a.serves[q]) {
+      const auto& sources = a.sources[p];
+      EXPECT_NE(std::find(sources.begin(), sources.end(), q), sources.end())
+          << q << " serves " << p << " but is not a source of it";
+      ++serve_edges;
+    }
+  }
+  EXPECT_EQ(serve_edges, a.connection_count());
+}
+
+TEST(Bilateral, DeferredAcceptanceIsStable) {
+  graph::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 25 + rng.below(25);
+    const GlobalRanking ranking = GlobalRanking::identity(n);
+    const graph::Graph g = graph::erdos_renyi_gnd(n, 8.0, rng);
+    const ExplicitAcceptance acc(g, ranking);
+    for (const ServerPolicy policy : {ServerPolicy::kRandomQueue, ServerPolicy::kGlobalRank}) {
+      const auto cfg = config(2, 3, policy);
+      const BilateralAssignment a = bilateral_assignment(acc, ranking, cfg, rng);
+      EXPECT_TRUE(bilateral_is_stable(acc, ranking, cfg, a)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Bilateral, CompleteGraphGlobalRankMirrorsTftStratification) {
+  // With rank-based server priority on a complete graph, the best
+  // clients monopolize the best sources: top peers' sources are other
+  // top peers.
+  graph::Rng rng(5);
+  const std::size_t n = 30;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const CompleteAcceptance acc(n, ranking);
+  const BilateralAssignment a =
+      bilateral_assignment(acc, ranking, config(2, 2, ServerPolicy::kGlobalRank), rng);
+  // Peer 0 downloads from the two best other peers.
+  const std::set<PeerId> sources0(a.sources[0].begin(), a.sources[0].end());
+  EXPECT_TRUE(sources0.count(1));
+  EXPECT_TRUE(sources0.count(2));
+}
+
+TEST(Bilateral, RandomQueueDecouplesDownloadFromRank) {
+  // The headline free-riding property: under the arrival-queue policy,
+  // download is uncorrelated with a peer's own rank; under the
+  // rank-based policy it strongly correlates.
+  graph::Rng rng(6);
+  const std::size_t n = 300;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 20.0, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) weight[i] = static_cast<double>(n - i);
+
+  std::vector<double> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<double>(i);
+
+  const auto queue = bilateral_assignment(
+      acc, ranking, config(4, 4, ServerPolicy::kRandomQueue), rng);
+  const auto credit = bilateral_assignment(
+      acc, ranking, config(4, 4, ServerPolicy::kGlobalRank), rng);
+  const double corr_queue = sim::spearman(ranks, bilateral_download(queue, weight));
+  const double corr_credit = sim::spearman(ranks, bilateral_download(credit, weight));
+  // Rank 0 is the best peer, so stratified download decreases in rank:
+  // strongly negative correlation under credit, near zero under queue.
+  EXPECT_GT(corr_queue, -0.35);
+  EXPECT_LT(corr_credit, -0.6);
+}
+
+TEST(Bilateral, DownloadValidation) {
+  BilateralAssignment a;
+  a.serves.resize(3);
+  a.sources.resize(3);
+  EXPECT_THROW((void)bilateral_download(a, {1.0, 2.0}), std::invalid_argument);
+  const auto d = bilateral_download(a, {1.0, 2.0, 3.0});
+  EXPECT_EQ(d.size(), 3u);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Bilateral, ClientOptimality) {
+  // Deferred acceptance with clients proposing yields the client-optimal
+  // stable outcome: on a complete graph with ample server capacity every
+  // client simply gets its top choices.
+  graph::Rng rng(7);
+  const std::size_t n = 12;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const CompleteAcceptance acc(n, ranking);
+  const BilateralAssignment a =
+      bilateral_assignment(acc, ranking, config(11, 2, ServerPolicy::kRandomQueue), rng);
+  for (PeerId p = 0; p < n; ++p) {
+    ASSERT_EQ(a.sources[p].size(), 2u);
+    // Top-2 acceptable sources by rank.
+    const PeerId first = acc.neighbor(p, 0);
+    const PeerId second = acc.neighbor(p, 1);
+    EXPECT_TRUE((a.sources[p][0] == first && a.sources[p][1] == second) ||
+                (a.sources[p][0] == second && a.sources[p][1] == first));
+  }
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,167 @@
+#include "core/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+struct Fixture {
+  GlobalRanking ranking = GlobalRanking::identity(4);
+  CompleteAcceptance acc{4, ranking};
+};
+
+TEST(Wishes, FreeSlotAlwaysWishes) {
+  Fixture f;
+  Matching m(4, 1);
+  EXPECT_TRUE(wishes(m, f.ranking, 3, 2));
+  EXPECT_TRUE(wishes(m, f.ranking, 0, 3));  // even the best wishes a worse peer
+}
+
+TEST(Wishes, FullPeerWishesOnlyBetterThanWorst) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(1, 2, f.ranking);
+  EXPECT_TRUE(wishes(m, f.ranking, 1, 0));   // 0 better than current mate 2
+  EXPECT_FALSE(wishes(m, f.ranking, 1, 3));  // 3 worse than 2
+  EXPECT_FALSE(wishes(m, f.ranking, 1, 2));  // its own mate is not an upgrade
+}
+
+TEST(BlockingPair, EmptyConfigurationAllAcceptablePairsBlock) {
+  Fixture f;
+  const Matching m(4, 1);
+  for (PeerId p = 0; p < 4; ++p) {
+    for (PeerId q = 0; q < 4; ++q) {
+      if (p == q) continue;
+      EXPECT_TRUE(is_blocking_pair(f.acc, f.ranking, m, p, q));
+    }
+  }
+}
+
+TEST(BlockingPair, RespectsAcceptance) {
+  GlobalRanking ranking = GlobalRanking::identity(3);
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  const ExplicitAcceptance acc(g, ranking);
+  const Matching m(3, 1);
+  EXPECT_TRUE(is_blocking_pair(acc, ranking, m, 0, 1));
+  EXPECT_FALSE(is_blocking_pair(acc, ranking, m, 0, 2));  // not acceptable
+}
+
+TEST(BlockingPair, MatchedPairNeverBlocks) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 1, f.ranking);
+  EXPECT_FALSE(is_blocking_pair(f.acc, f.ranking, m, 0, 1));
+}
+
+TEST(BlockingPair, SelfNeverBlocks) {
+  Fixture f;
+  const Matching m(4, 1);
+  EXPECT_FALSE(is_blocking_pair(f.acc, f.ranking, m, 2, 2));
+}
+
+TEST(BlockingPair, UpgradeOverWorseMate) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 3, f.ranking);
+  m.connect(1, 2, f.ranking);
+  // 0 (matched to 3) and 2 (matched to 1): 0 wants 2 over 3, but 2
+  // prefers its current mate 1 over 0? No: rank(0) < rank(1), so 2
+  // wishes 0 too -> blocking.
+  EXPECT_TRUE(is_blocking_pair(f.acc, f.ranking, m, 0, 2));
+  // 3 and 2: 2 is full with the better mate 1 -> not blocking.
+  EXPECT_FALSE(is_blocking_pair(f.acc, f.ranking, m, 3, 2));
+}
+
+TEST(ExecuteBlockingPair, DropsWorstMatesWhenFull) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 3, f.ranking);
+  m.connect(1, 2, f.ranking);
+  execute_blocking_pair(f.ranking, m, 0, 1);
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_EQ(m.degree(2), 0u);  // dropped by 1
+  EXPECT_EQ(m.degree(3), 0u);  // dropped by 0
+  EXPECT_EQ(m.connection_count(), 1u);
+}
+
+TEST(ExecuteBlockingPair, UsesFreeSlotsWhenAvailable) {
+  Fixture f;
+  Matching m(4, 2);
+  m.connect(0, 3, f.ranking);
+  execute_blocking_pair(f.ranking, m, 0, 1);
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_TRUE(m.are_matched(0, 3));  // kept: capacity 2
+}
+
+TEST(FindBlockingPair, StableConfigurationHasNone) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 1, f.ranking);
+  m.connect(2, 3, f.ranking);
+  EXPECT_FALSE(find_blocking_pair(f.acc, f.ranking, m).has_value());
+  EXPECT_TRUE(is_stable(f.acc, f.ranking, m));
+}
+
+TEST(FindBlockingPair, DetectsInstability) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 2, f.ranking);
+  m.connect(1, 3, f.ranking);
+  // 1 and 2 prefer each other to their current mates.
+  const auto pair = find_blocking_pair(f.acc, f.ranking, m);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(is_blocking_pair(f.acc, f.ranking, m, pair->first, pair->second));
+}
+
+TEST(AllBlockingPairs, CountsEmptyCompleteGraph) {
+  Fixture f;
+  const Matching m(4, 1);
+  // Every one of the 6 unordered pairs blocks the empty configuration.
+  EXPECT_EQ(all_blocking_pairs(f.acc, f.ranking, m).size(), 6u);
+}
+
+TEST(AllBlockingPairs, ReportsEachPairOnce) {
+  Fixture f;
+  Matching m(4, 1);
+  m.connect(0, 1, f.ranking);
+  const auto pairs = all_blocking_pairs(f.acc, f.ranking, m);
+  // Remaining blocking pair: {2, 3} only.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 2u);
+  EXPECT_EQ(pairs[0].second, 3u);
+}
+
+TEST(Stability, RandomInstanceStableIffNoBlockingPairBruteForce) {
+  graph::Rng rng(77);
+  const GlobalRanking ranking = GlobalRanking::identity(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = graph::erdos_renyi_gnp(12, 0.4, rng);
+    const ExplicitAcceptance acc(g, ranking);
+    Matching m(12, 1);
+    // Random valid 1-matching over acceptance edges.
+    for (PeerId p = 0; p < 12; ++p) {
+      if (m.is_full(p) || acc.degree(p) == 0) continue;
+      const PeerId q = acc.neighbor(p, static_cast<std::size_t>(rng.below(acc.degree(p))));
+      if (!m.is_full(q) && !m.are_matched(p, q)) m.connect(p, q, ranking);
+    }
+    // is_stable must agree with an exhaustive scan.
+    bool brute_stable = true;
+    for (PeerId p = 0; p < 12 && brute_stable; ++p) {
+      for (PeerId q = static_cast<PeerId>(p + 1); q < 12; ++q) {
+        if (is_blocking_pair(acc, ranking, m, p, q)) {
+          brute_stable = false;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(is_stable(acc, ranking, m), brute_stable);
+  }
+}
+
+}  // namespace
+}  // namespace strat::core

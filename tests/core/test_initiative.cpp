@@ -1,0 +1,163 @@
+#include "core/initiative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+TEST(ParseStrategy, RoundTrips) {
+  EXPECT_EQ(parse_strategy("best"), Strategy::kBestMate);
+  EXPECT_EQ(parse_strategy("decremental"), Strategy::kDecremental);
+  EXPECT_EQ(parse_strategy("random"), Strategy::kRandom);
+  EXPECT_THROW((void)parse_strategy("bogus"), std::invalid_argument);
+  EXPECT_STREQ(strategy_name(Strategy::kBestMate), "best");
+  EXPECT_STREQ(strategy_name(Strategy::kDecremental), "decremental");
+  EXPECT_STREQ(strategy_name(Strategy::kRandom), "random");
+}
+
+TEST(BestMateInitiative, PicksTheBestAvailableBlockingMate) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  Matching m(4, 1);
+  // Peer 3 initiates on an empty configuration: best blocking mate is 0.
+  EXPECT_TRUE(best_mate_initiative(acc, ranking, m, 3));
+  EXPECT_TRUE(m.are_matched(3, 0));
+}
+
+TEST(BestMateInitiative, InactiveOnStableConfiguration) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  Matching m(4, 1);
+  m.connect(0, 1, ranking);
+  m.connect(2, 3, ranking);
+  for (PeerId p = 0; p < 4; ++p) {
+    EXPECT_FALSE(best_mate_initiative(acc, ranking, m, p)) << "peer " << p;
+  }
+}
+
+TEST(BestMateInitiative, StealsFromWorseCouple) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  Matching m(4, 1);
+  m.connect(0, 2, ranking);
+  m.connect(1, 3, ranking);
+  // 1 initiates: 0 is the best blocking mate (0 prefers 1 over 2).
+  EXPECT_TRUE(best_mate_initiative(acc, ranking, m, 1));
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_EQ(m.degree(2), 0u);
+  EXPECT_EQ(m.degree(3), 0u);
+}
+
+TEST(BestMateInitiative, IsolatedPeerIsInactive) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  const ExplicitAcceptance acc(graph::Graph(3), ranking);
+  Matching m(3, 1);
+  EXPECT_FALSE(best_mate_initiative(acc, ranking, m, 0));
+}
+
+TEST(DecrementalInitiative, EventuallyFindsBlockingMate) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  const CompleteAcceptance acc(5, ranking);
+  Matching m(5, 1);
+  std::vector<std::size_t> cursors(5, 0);
+  EXPECT_TRUE(decremental_initiative(acc, ranking, m, 2, cursors));
+  EXPECT_EQ(m.degree(2), 1u);
+}
+
+TEST(DecrementalInitiative, CursorAdvancesAcrossCalls) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  const CompleteAcceptance acc(5, ranking);
+  Matching m(5, 2);
+  std::vector<std::size_t> cursors(5, 0);
+  // Two successive active initiatives by peer 4 must pick two distinct
+  // mates (the circular scan keeps moving).
+  EXPECT_TRUE(decremental_initiative(acc, ranking, m, 4, cursors));
+  const PeerId first = m.mates(4)[0];
+  EXPECT_TRUE(decremental_initiative(acc, ranking, m, 4, cursors));
+  EXPECT_EQ(m.degree(4), 2u);
+  const auto mates = m.mates(4);
+  EXPECT_NE(mates[0], mates[1]);
+  EXPECT_TRUE(mates[0] == first || mates[1] == first);
+}
+
+TEST(DecrementalInitiative, InactiveWhenStable) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  Matching m(4, 1);
+  m.connect(0, 1, ranking);
+  m.connect(2, 3, ranking);
+  std::vector<std::size_t> cursors(4, 0);
+  for (PeerId p = 0; p < 4; ++p) {
+    EXPECT_FALSE(decremental_initiative(acc, ranking, m, p, cursors));
+  }
+}
+
+TEST(RandomInitiative, OnlyExecutesBlockingPairs) {
+  graph::Rng rng(5);
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  Matching m(4, 1);
+  m.connect(0, 1, ranking);
+  m.connect(2, 3, ranking);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(random_initiative(acc, ranking, m, static_cast<PeerId>(rng.below(4)), rng));
+  }
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_TRUE(m.are_matched(2, 3));
+}
+
+TEST(RandomInitiative, MakesProgressFromEmpty) {
+  graph::Rng rng(6);
+  const GlobalRanking ranking = GlobalRanking::identity(6);
+  const CompleteAcceptance acc(6, ranking);
+  Matching m(6, 1);
+  int active = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (random_initiative(acc, ranking, m, static_cast<PeerId>(rng.below(6)), rng)) ++active;
+  }
+  EXPECT_GT(active, 0);
+  EXPECT_GT(m.connection_count(), 0u);
+}
+
+TEST(TakeInitiative, DispatchesEveryStrategy) {
+  graph::Rng rng(7);
+  const GlobalRanking ranking = GlobalRanking::identity(6);
+  const CompleteAcceptance acc(6, ranking);
+  std::vector<std::size_t> cursors(6, 0);
+  for (const Strategy s : {Strategy::kBestMate, Strategy::kDecremental, Strategy::kRandom}) {
+    Matching m(6, 1);
+    bool any = false;
+    for (int i = 0; i < 300; ++i) {
+      any |= take_initiative(acc, ranking, m, static_cast<PeerId>(rng.below(6)), s, cursors, rng);
+    }
+    EXPECT_TRUE(any) << strategy_name(s);
+  }
+}
+
+TEST(Initiative, NeverCreatesNonBlockingConnections) {
+  // Fuzz: after any prefix of initiatives, the configuration stays a
+  // valid b-matching within the acceptance graph.
+  graph::Rng rng(8);
+  const std::size_t n = 30;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnp(n, 0.2, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  Matching m(n, 2);
+  std::vector<std::size_t> cursors(n, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const auto p = static_cast<PeerId>(rng.below(n));
+    const auto s = static_cast<Strategy>(rng.below(3));
+    take_initiative(acc, ranking, m, p, s, cursors, rng);
+  }
+  EXPECT_NO_THROW(m.validate(ranking));
+  for (PeerId p = 0; p < n; ++p) {
+    for (PeerId q : m.mates(p)) EXPECT_TRUE(acc.accepts(p, q));
+  }
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,134 @@
+#include "core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strat::core {
+namespace {
+
+TEST(Matching, EmptyConfiguration) {
+  const Matching m(4, 2);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.connection_count(), 0u);
+  EXPECT_EQ(m.total_capacity(), 8u);
+  for (PeerId p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.degree(p), 0u);
+    EXPECT_EQ(m.capacity(p), 2u);
+    EXPECT_FALSE(m.is_full(p));
+    EXPECT_EQ(m.mate(p), kNoPeer);
+  }
+}
+
+TEST(Matching, PerPeerCapacities) {
+  const Matching m(std::vector<std::uint32_t>{1, 2, 0});
+  EXPECT_EQ(m.capacity(0), 1u);
+  EXPECT_EQ(m.capacity(2), 0u);
+  EXPECT_TRUE(m.is_full(2));
+  EXPECT_EQ(m.total_capacity(), 3u);
+}
+
+TEST(Matching, ConnectDisconnectSymmetry) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 2);
+  m.connect(0, 2, ranking);
+  EXPECT_TRUE(m.are_matched(0, 2));
+  EXPECT_TRUE(m.are_matched(2, 0));
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_EQ(m.degree(0), 1u);
+  m.disconnect(2, 0);
+  EXPECT_FALSE(m.are_matched(0, 2));
+  EXPECT_EQ(m.connection_count(), 0u);
+}
+
+TEST(Matching, ConnectValidation) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(3, 1);
+  EXPECT_THROW(m.connect(1, 1, ranking), std::invalid_argument);
+  EXPECT_THROW(m.connect(0, 5, ranking), std::invalid_argument);
+  m.connect(0, 1, ranking);
+  EXPECT_THROW(m.connect(0, 1, ranking), std::invalid_argument);  // already matched
+  EXPECT_THROW(m.connect(0, 2, ranking), std::invalid_argument);  // 0 is full
+}
+
+TEST(Matching, DisconnectValidation) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(3, 1);
+  EXPECT_THROW(m.disconnect(0, 1), std::invalid_argument);
+  m.connect(0, 1, ranking);
+  EXPECT_THROW(m.disconnect(0, 2), std::invalid_argument);
+}
+
+TEST(Matching, MateListsSortedBestFirst) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  Matching m(5, 3);
+  m.connect(4, 2, ranking);
+  m.connect(4, 0, ranking);
+  m.connect(4, 3, ranking);
+  const auto mates = m.mates(4);
+  ASSERT_EQ(mates.size(), 3u);
+  EXPECT_EQ(mates[0], 0u);
+  EXPECT_EQ(mates[1], 2u);
+  EXPECT_EQ(mates[2], 3u);
+  EXPECT_EQ(m.best_mate(4), 0u);
+  EXPECT_EQ(m.worst_mate(4), 3u);
+}
+
+TEST(Matching, SortOrderFollowsScores) {
+  const GlobalRanking ranking = GlobalRanking::from_scores({1.0, 9.0, 5.0, 7.0});
+  Matching m(4, 3);
+  m.connect(0, 2, ranking);
+  m.connect(0, 1, ranking);
+  m.connect(0, 3, ranking);
+  const auto mates = m.mates(0);
+  EXPECT_EQ(mates[0], 1u);  // score 9
+  EXPECT_EQ(mates[1], 3u);  // score 7
+  EXPECT_EQ(mates[2], 2u);  // score 5
+}
+
+TEST(Matching, WorstBestThrowOnUnmatched) {
+  const Matching m(2, 1);
+  EXPECT_THROW((void)m.worst_mate(0), std::invalid_argument);
+  EXPECT_THROW((void)m.best_mate(0), std::invalid_argument);
+}
+
+TEST(Matching, ClearPeerDropsAllCollaborations) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 2);
+  m.connect(0, 1, ranking);
+  m.connect(0, 2, ranking);
+  m.connect(1, 3, ranking);
+  m.clear_peer(0);
+  EXPECT_EQ(m.degree(0), 0u);
+  EXPECT_EQ(m.degree(1), 1u);  // still matched to 3
+  EXPECT_EQ(m.degree(2), 0u);
+  EXPECT_EQ(m.connection_count(), 1u);
+}
+
+TEST(Matching, AddPeerGrows) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(2, 1);
+  const PeerId id = m.add_peer(2);
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(m.capacity(2), 2u);
+  m.connect(2, 0, ranking);
+  EXPECT_TRUE(m.are_matched(0, 2));
+}
+
+TEST(Matching, ValidateAcceptsConsistentState) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 2);
+  m.connect(0, 3, ranking);
+  m.connect(1, 2, ranking);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(Matching, MateOfOneMatchingPeer) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(3, 1);
+  m.connect(1, 2, ranking);
+  EXPECT_EQ(m.mate(1), 2u);
+  EXPECT_EQ(m.mate(2), 1u);
+  EXPECT_EQ(m.mate(0), kNoPeer);
+}
+
+}  // namespace
+}  // namespace strat::core

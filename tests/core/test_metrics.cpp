@@ -1,0 +1,143 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+TEST(Metrics, CollaborationGraphMirrorsMatching) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  Matching m(5, 2);
+  m.connect(0, 1, ranking);
+  m.connect(1, 2, ranking);
+  const auto g = collaboration_graph(m);
+  EXPECT_EQ(g.order(), 5u);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Metrics, ClusterStatsOfTwoTriangles) {
+  const Matching m = stable_configuration_complete(std::vector<std::uint32_t>(6, 2));
+  const ClusterStats s = cluster_stats(m);
+  EXPECT_EQ(s.components, 2u);
+  EXPECT_EQ(s.largest, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_size, 3.0);
+  EXPECT_DOUBLE_EQ(s.vertex_mean_size, 3.0);
+  EXPECT_EQ(s.isolated_peers, 0u);
+}
+
+TEST(Metrics, IsolatedPeersCounted) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 1);
+  m.connect(0, 1, ranking);
+  const ClusterStats s = cluster_stats(m);
+  EXPECT_EQ(s.isolated_peers, 2u);
+  EXPECT_EQ(s.components, 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(Metrics, MaxOffsetPerPeer) {
+  const GlobalRanking ranking = GlobalRanking::identity(6);
+  Matching m(6, 2);
+  m.connect(0, 5, ranking);
+  m.connect(0, 1, ranking);
+  EXPECT_EQ(max_offset(m, ranking, 0), 5u);
+  EXPECT_EQ(max_offset(m, ranking, 5), 5u);
+  EXPECT_EQ(max_offset(m, ranking, 1), 1u);
+  EXPECT_EQ(max_offset(m, ranking, 2), 0u);  // unmatched
+}
+
+TEST(Metrics, MmoClosedFormMatchesTable1) {
+  // Table 1's constant-b0 MMO row: 1.67, 2.5, 3.2, 4, 4.71, 5.5.
+  EXPECT_NEAR(mmo_closed_form(2), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mmo_closed_form(3), 2.5, 1e-12);
+  EXPECT_NEAR(mmo_closed_form(4), 3.2, 1e-12);
+  EXPECT_NEAR(mmo_closed_form(5), 4.0, 1e-12);
+  EXPECT_NEAR(mmo_closed_form(6), 33.0 / 7.0, 1e-12);  // 4.714...
+  EXPECT_NEAR(mmo_closed_form(7), 5.5, 1e-12);
+  EXPECT_THROW((void)mmo_closed_form(0), std::invalid_argument);
+}
+
+TEST(Metrics, MmoClosedFormLimitIsThreeQuartersB) {
+  // §4.2: MMO(b0) -> (3/4) b0 as b0 grows.
+  for (const std::size_t b0 : {50u, 200u, 1000u}) {
+    EXPECT_NEAR(mmo_closed_form(b0) / static_cast<double>(b0), 0.75, 0.01) << b0;
+  }
+}
+
+TEST(Metrics, EmpiricalMmoMatchesClosedFormOnCompleteGraph) {
+  const GlobalRanking ranking = GlobalRanking::identity(12);
+  for (const std::uint32_t b0 : {2u, 3u, 5u}) {
+    const std::size_t n = (b0 + 1) * 4;  // whole clusters only
+    const Matching m =
+        stable_configuration_complete(std::vector<std::uint32_t>(n, b0));
+    const GlobalRanking r = GlobalRanking::identity(n);
+    EXPECT_NEAR(mean_max_offset(m, r), mmo_closed_form(b0), 1e-9) << "b0=" << b0;
+  }
+}
+
+TEST(Metrics, MeanMaxOffsetSkipsUnmatched) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  Matching m(5, 1);
+  m.connect(0, 1, ranking);
+  // Only peers 0 and 1 are matched; both have offset 1.
+  EXPECT_DOUBLE_EQ(mean_max_offset(m, ranking), 1.0);
+}
+
+TEST(Metrics, MeanMaxOffsetEmptyIsZero) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  EXPECT_DOUBLE_EQ(mean_max_offset(Matching(5, 1), ranking), 0.0);
+}
+
+TEST(Metrics, MeanAbsOffsetPerEdge) {
+  const GlobalRanking ranking = GlobalRanking::identity(6);
+  Matching m(6, 2);
+  m.connect(0, 1, ranking);  // offset 1
+  m.connect(2, 5, ranking);  // offset 3
+  EXPECT_DOUBLE_EQ(mean_abs_offset(m, ranking), 2.0);
+  EXPECT_DOUBLE_EQ(mean_abs_offset(Matching(6, 1), ranking), 0.0);
+}
+
+TEST(Metrics, MateRankProfileByRankOrder) {
+  const GlobalRanking ranking = GlobalRanking::from_scores({1.0, 3.0, 2.0});
+  // Rank order: peer1 (rank 0), peer2 (rank 1), peer0 (rank 2).
+  Matching m(3, 1);
+  m.connect(1, 2, ranking);
+  const auto profile = mate_rank_profile(m, ranking);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile[0], 1.0);   // best peer's mate has rank 1
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);   // rank-1 peer's mate has rank 0
+  EXPECT_DOUBLE_EQ(profile[2], -1.0);  // unmatched
+}
+
+TEST(Metrics, StratificationOnCompleteGraphVariableB) {
+  // §4.2: with variable b the clusters merge (bigger vertex-mean size)
+  // while MMO stays small relative to n.
+  const std::size_t n = 4000;
+  std::vector<std::uint32_t> constant(n, 4);
+  const Matching mc = stable_configuration_complete(constant);
+  const ClusterStats cs = cluster_stats(mc);
+  EXPECT_NEAR(cs.vertex_mean_size, 5.0, 1e-9);
+
+  graph::Rng rng(11);
+  std::vector<std::uint32_t> variable(n);
+  for (auto& b : variable) {
+    const double x = rng.normal(4.0, 0.4);
+    b = static_cast<std::uint32_t>(std::max(1.0, std::round(x)));
+  }
+  const Matching mv = stable_configuration_complete(variable);
+  const ClusterStats vs = cluster_stats(mv);
+  EXPECT_GT(vs.vertex_mean_size, 4.0 * cs.vertex_mean_size);
+  const GlobalRanking r = GlobalRanking::identity(n);
+  // Stratification: typical offsets stay tiny compared to n.
+  EXPECT_LT(mean_max_offset(mv, r), 30.0);
+}
+
+}  // namespace
+}  // namespace strat::core

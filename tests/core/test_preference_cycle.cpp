@@ -1,0 +1,142 @@
+#include "core/preference_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+PreferenceSystem odd_cycle_instance() {
+  // The classic stable-roommates counterexample: 0 prefers 1 > 2,
+  // 1 prefers 2 > 0, 2 prefers 0 > 1. (0,1,2) is a preference cycle.
+  return PreferenceSystem{{1, 2}, {2, 0}, {0, 1}};
+}
+
+TEST(PreferencesFromRanking, OrdersByRank) {
+  const GlobalRanking ranking = GlobalRanking::from_scores({1.0, 3.0, 2.0});
+  const std::vector<std::vector<PeerId>> adjacency{{1, 2}, {0, 2}, {0, 1}};
+  const PreferenceSystem prefs = preferences_from_ranking(ranking, adjacency);
+  EXPECT_EQ(prefs[0], (std::vector<PeerId>{1, 2}));
+  EXPECT_EQ(prefs[2], (std::vector<PeerId>{1, 0}));
+}
+
+TEST(PrefPrefers, PositionalSemantics) {
+  const PreferenceSystem prefs{{2, 1}, {}, {}};
+  EXPECT_TRUE(pref_prefers(prefs, 0, 2, 1));
+  EXPECT_FALSE(pref_prefers(prefs, 0, 1, 2));
+  // Unlisted peers rank last.
+  EXPECT_TRUE(pref_prefers(prefs, 0, 1, 7));
+  EXPECT_FALSE(pref_prefers(prefs, 0, 7, 1));
+}
+
+TEST(IsPreferenceCycle, ValidatesTheClassicTriangle) {
+  const PreferenceSystem prefs = odd_cycle_instance();
+  EXPECT_TRUE(is_preference_cycle(prefs, {0, 1, 2}));
+  EXPECT_TRUE(is_preference_cycle(prefs, {1, 2, 0}));  // rotation
+  // The reverse orientation is NOT a preference cycle here.
+  EXPECT_FALSE(is_preference_cycle(prefs, {2, 1, 0}));
+}
+
+TEST(IsPreferenceCycle, RejectsShortOrDuplicated) {
+  const PreferenceSystem prefs = odd_cycle_instance();
+  EXPECT_FALSE(is_preference_cycle(prefs, {0, 1}));
+  EXPECT_FALSE(is_preference_cycle(prefs, {0, 1, 1}));
+}
+
+TEST(FindPreferenceCycle, FindsTheTriangle) {
+  const auto cycle = find_preference_cycle(odd_cycle_instance());
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(is_preference_cycle(odd_cycle_instance(), *cycle));
+}
+
+TEST(FindPreferenceCycle, GlobalRankingHasNone) {
+  graph::Rng rng(3);
+  const std::size_t n = 9;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnp(n, 0.6, rng);
+  std::vector<std::vector<PeerId>> adjacency(n);
+  for (PeerId p = 0; p < n; ++p) {
+    const auto nbrs = g.neighbors(p);
+    adjacency[p].assign(nbrs.begin(), nbrs.end());
+  }
+  const PreferenceSystem prefs = preferences_from_ranking(ranking, adjacency);
+  EXPECT_FALSE(find_preference_cycle(prefs).has_value());
+  EXPECT_TRUE(is_cycle_free(prefs));
+}
+
+TEST(FindPreferenceCycle, EvenCycleInstance) {
+  // 4 peers arranged so (0,1,2,3) is an even preference cycle: each
+  // prefers its successor to its predecessor.
+  const PreferenceSystem prefs{
+      {1, 3},  // 0: prefers 1 (successor) to 3 (predecessor)
+      {2, 0},  // 1: prefers 2 to 0
+      {3, 1},  // 2: prefers 3 to 1
+      {0, 2},  // 3: prefers 0 to 2
+  };
+  EXPECT_TRUE(is_preference_cycle(prefs, {0, 1, 2, 3}));
+  const auto cycle = find_preference_cycle(prefs);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);
+  EXPECT_FALSE(is_cycle_free(prefs));
+}
+
+TEST(IsCycleFree, LargeGlobalRankingInstanceUsesStateGraph) {
+  // n > exhaustive limit: exercises the state-graph path.
+  graph::Rng rng(4);
+  const std::size_t n = 40;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnp(n, 0.2, rng);
+  std::vector<std::vector<PeerId>> adjacency(n);
+  for (PeerId p = 0; p < n; ++p) {
+    const auto nbrs = g.neighbors(p);
+    adjacency[p].assign(nbrs.begin(), nbrs.end());
+  }
+  EXPECT_TRUE(is_cycle_free(preferences_from_ranking(ranking, adjacency)));
+}
+
+TEST(FindPreferenceCycle, LargeCraftedCycleIsDetected) {
+  // Embed the classic triangle into a 20-peer system (above the
+  // exhaustive limit) where everything else is empty.
+  PreferenceSystem prefs(20);
+  prefs[0] = {1, 2};
+  prefs[1] = {2, 0};
+  prefs[2] = {0, 1};
+  EXPECT_FALSE(is_cycle_free(prefs));
+  const auto cycle = find_preference_cycle(prefs);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(is_preference_cycle(prefs, *cycle));
+}
+
+TEST(IsCycleFree, EmptySystem) {
+  EXPECT_TRUE(is_cycle_free(PreferenceSystem{}));
+  EXPECT_TRUE(is_cycle_free(PreferenceSystem{{}, {}, {}}));
+}
+
+TEST(TanCriterion, OddCycleInstanceHasNoStable1Matching) {
+  // Brute-force all 1-matchings of the triangle instance: each leaves a
+  // blocking pair, confirming Tan's theorem for odd cycles.
+  const PreferenceSystem prefs = odd_cycle_instance();
+  // Configurations on 3 peers with b=1: empty, {01}, {02}, {12}.
+  auto blocks = [&](PeerId a, PeerId b, PeerId mate_a, PeerId mate_b) {
+    // (a, b) blocks if both prefer each other to their current mates
+    // (kNoPeer means single, which always wishes).
+    auto wishes = [&](PeerId x, PeerId y, PeerId mate) {
+      if (mate == kNoPeer) return true;
+      return pref_prefers(prefs, x, y, mate);
+    };
+    return wishes(a, b, mate_a) && wishes(b, a, mate_b);
+  };
+  // empty: (0,1) blocks.
+  EXPECT_TRUE(blocks(0, 1, kNoPeer, kNoPeer));
+  // {0-1}: peer 2 single; 1 prefers 2 to 0 -> (1,2) blocks.
+  EXPECT_TRUE(blocks(1, 2, 0, kNoPeer));
+  // {0-2}: peer 1 single; 0 prefers 1 to 2 -> (0,1) blocks.
+  EXPECT_TRUE(blocks(0, 1, 2, kNoPeer));
+  // {1-2}: peer 0 single; 2 prefers 0 to 1 -> (2,0) blocks.
+  EXPECT_TRUE(blocks(2, 0, 1, kNoPeer));
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,90 @@
+#include "core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strat::core {
+namespace {
+
+TEST(GlobalRanking, IdentityConvention) {
+  const GlobalRanking r = GlobalRanking::identity(5);
+  EXPECT_EQ(r.size(), 5u);
+  for (PeerId p = 0; p < 5; ++p) {
+    EXPECT_EQ(r.rank_of(p), p);
+    EXPECT_EQ(r.peer_at(p), p);
+  }
+  EXPECT_TRUE(r.prefers(0, 1));
+  EXPECT_TRUE(r.prefers(3, 4));
+  EXPECT_FALSE(r.prefers(4, 3));
+}
+
+TEST(GlobalRanking, FromScoresOrdersByScoreDescending) {
+  const GlobalRanking r = GlobalRanking::from_scores({1.0, 10.0, 5.0});
+  EXPECT_EQ(r.peer_at(0), 1u);
+  EXPECT_EQ(r.peer_at(1), 2u);
+  EXPECT_EQ(r.peer_at(2), 0u);
+  EXPECT_EQ(r.rank_of(1), 0u);
+  EXPECT_EQ(r.rank_of(0), 2u);
+  EXPECT_TRUE(r.prefers(1, 2));
+  EXPECT_TRUE(r.prefers(2, 0));
+}
+
+TEST(GlobalRanking, TiesRejected) {
+  EXPECT_THROW((void)GlobalRanking::from_scores({1.0, 2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(GlobalRanking, ScoreAccess) {
+  const GlobalRanking r = GlobalRanking::from_scores({2.5, 7.0});
+  EXPECT_DOUBLE_EQ(r.score(0), 2.5);
+  EXPECT_DOUBLE_EQ(r.score(1), 7.0);
+  EXPECT_THROW((void)r.score(2), std::out_of_range);
+}
+
+TEST(GlobalRanking, RankQueriesValidateIds) {
+  const GlobalRanking r = GlobalRanking::identity(3);
+  EXPECT_THROW((void)r.rank_of(3), std::out_of_range);
+  EXPECT_THROW((void)r.peer_at(3), std::out_of_range);
+}
+
+TEST(GlobalRanking, AppendExtendsRanking) {
+  GlobalRanking r = GlobalRanking::from_scores({3.0, 1.0});
+  const PeerId id = r.append(2.0);
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.peer_at(0), 0u);
+  EXPECT_EQ(r.peer_at(1), 2u);  // the new peer slots into the middle
+  EXPECT_EQ(r.peer_at(2), 1u);
+  EXPECT_EQ(r.rank_of(2), 1u);
+}
+
+TEST(GlobalRanking, AppendRejectsDuplicateScore) {
+  GlobalRanking r = GlobalRanking::from_scores({3.0, 1.0});
+  EXPECT_THROW(r.append(3.0), std::invalid_argument);
+}
+
+TEST(GlobalRanking, AppendKeepsComparisonsValidWithoutRefresh) {
+  GlobalRanking r = GlobalRanking::from_scores({3.0, 1.0});
+  r.append(2.0);
+  // prefers() works straight away (score-based, no rank refresh).
+  EXPECT_TRUE(r.prefers(0, 2));
+  EXPECT_TRUE(r.prefers(2, 1));
+}
+
+TEST(GlobalRanking, EmptyRanking) {
+  const GlobalRanking r;
+  EXPECT_EQ(r.size(), 0u);
+  const GlobalRanking id0 = GlobalRanking::identity(0);
+  EXPECT_EQ(id0.size(), 0u);
+}
+
+TEST(GlobalRanking, RankRefreshAfterMultipleAppends) {
+  GlobalRanking r = GlobalRanking::identity(2);  // scores 2, 1
+  r.append(10.0);
+  r.append(1.5);
+  EXPECT_EQ(r.peer_at(0), 2u);  // 10.0
+  EXPECT_EQ(r.peer_at(1), 0u);  // 2.0
+  EXPECT_EQ(r.peer_at(2), 3u);  // 1.5
+  EXPECT_EQ(r.peer_at(3), 1u);  // 1.0
+}
+
+}  // namespace
+}  // namespace strat::core

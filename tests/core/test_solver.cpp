@@ -1,0 +1,210 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/blocking.hpp"
+#include "core/metrics.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+TEST(Solver, CompleteGraphOneMatchingPairsAdjacentRanks) {
+  const GlobalRanking ranking = GlobalRanking::identity(6);
+  const CompleteAcceptance acc(6, ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(6, 1));
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_TRUE(m.are_matched(2, 3));
+  EXPECT_TRUE(m.are_matched(4, 5));
+  EXPECT_TRUE(is_stable(acc, ranking, m));
+}
+
+TEST(Solver, OddPopulationLeavesWorstUnmatched) {
+  const GlobalRanking ranking = GlobalRanking::identity(5);
+  const CompleteAcceptance acc(5, ranking);
+  Matching m(5, 1);
+  const SolveStats stats = stable_configuration(acc, ranking, m);
+  EXPECT_EQ(m.degree(4), 0u);
+  EXPECT_EQ(stats.connections, 2u);
+  EXPECT_EQ(stats.unfilled_slots, 1u);
+}
+
+TEST(Solver, Figure4ConstantTwoMatchingClustersOfThree) {
+  // §4.1 / Figure 4: constant b0-matching on a complete graph yields
+  // consecutive complete clusters of size b0+1.
+  const GlobalRanking ranking = GlobalRanking::identity(9);
+  const CompleteAcceptance acc(9, ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(9, 2));
+  for (PeerId base = 0; base < 9; base += 3) {
+    EXPECT_TRUE(m.are_matched(base, base + 1));
+    EXPECT_TRUE(m.are_matched(base, base + 2));
+    EXPECT_TRUE(m.are_matched(base + 1, base + 2));
+  }
+  EXPECT_FALSE(m.are_matched(2, 3));
+  EXPECT_TRUE(is_stable(acc, ranking, m));
+}
+
+TEST(Solver, Figure5ExtraConnectionChainsClusters) {
+  // §4.2 / Figure 5: granting peer 1 (rank 0) one extra connection
+  // turns the disjoint triangles into one connected component.
+  const GlobalRanking ranking = GlobalRanking::identity(8);
+  const CompleteAcceptance acc(8, ranking);
+  std::vector<std::uint32_t> caps(8, 2);
+  caps[0] = 3;
+  const Matching m = stable_configuration(acc, ranking, caps);
+  EXPECT_TRUE(is_stable(acc, ranking, m));
+  const auto g = collaboration_graph(m);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Solver, EmptyAcceptanceYieldsEmptyMatching) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const ExplicitAcceptance acc(graph::Graph(4), ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(4, 2));
+  EXPECT_EQ(m.connection_count(), 0u);
+}
+
+TEST(Solver, SizesMustAgree) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  EXPECT_THROW((void)stable_configuration(acc, ranking, std::vector<std::uint32_t>(3, 1)),
+               std::invalid_argument);
+  Matching wrong(3, 1);
+  EXPECT_THROW((void)stable_configuration(acc, ranking, wrong), std::invalid_argument);
+}
+
+TEST(Solver, ZeroCapacityPeersNeverMatch) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  const CompleteAcceptance acc(4, ranking);
+  std::vector<std::uint32_t> caps{1, 0, 1, 0};
+  const Matching m = stable_configuration(acc, ranking, caps);
+  EXPECT_EQ(m.degree(1), 0u);
+  EXPECT_EQ(m.degree(3), 0u);
+  EXPECT_TRUE(m.are_matched(0, 2));
+}
+
+TEST(Solver, NonIdentityRankingRespected) {
+  // Scores invert the id order: peer 3 is the best.
+  const GlobalRanking ranking = GlobalRanking::from_scores({1.0, 2.0, 3.0, 4.0});
+  const CompleteAcceptance acc(4, ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(4, 1));
+  EXPECT_TRUE(m.are_matched(3, 2));
+  EXPECT_TRUE(m.are_matched(1, 0));
+  EXPECT_TRUE(is_stable(acc, ranking, m));
+}
+
+TEST(Solver, ResultIsStableOnRandomGraphs) {
+  graph::Rng rng(42);
+  for (const double p : {0.05, 0.2, 0.5}) {
+    for (const std::size_t b0 : {1u, 2u, 4u}) {
+      const std::size_t n = 60;
+      const GlobalRanking ranking = GlobalRanking::identity(n);
+      const graph::Graph g = graph::erdos_renyi_gnp(n, p, rng);
+      const ExplicitAcceptance acc(g, ranking);
+      const Matching m = stable_configuration(
+          acc, ranking, std::vector<std::uint32_t>(n, static_cast<std::uint32_t>(b0)));
+      EXPECT_TRUE(is_stable(acc, ranking, m)) << "p=" << p << " b0=" << b0;
+      EXPECT_NO_THROW(m.validate(ranking));
+    }
+  }
+}
+
+TEST(Solver, MatchingRespectsAcceptanceGraph) {
+  graph::Rng rng(43);
+  const std::size_t n = 40;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnp(n, 0.15, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 2));
+  for (PeerId p = 0; p < n; ++p) {
+    for (PeerId q : m.mates(p)) EXPECT_TRUE(acc.accepts(p, q));
+  }
+}
+
+TEST(SolverCompleteFastPath, MatchesGenericSolver) {
+  graph::Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 30 + static_cast<std::size_t>(rng.below(40));
+    std::vector<std::uint32_t> caps(n);
+    for (auto& c : caps) c = static_cast<std::uint32_t>(rng.below(5));  // 0..4
+    const GlobalRanking ranking = GlobalRanking::identity(n);
+    const CompleteAcceptance acc(n, ranking);
+    const Matching generic = stable_configuration(acc, ranking, caps);
+    const Matching fast = stable_configuration_complete(caps);
+    ASSERT_EQ(generic.size(), fast.size());
+    for (PeerId p = 0; p < n; ++p) {
+      const auto a = generic.mates(p);
+      const auto b = fast.mates(p);
+      ASSERT_EQ(a.size(), b.size()) << "peer " << p;
+      for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+    }
+  }
+}
+
+TEST(SolverCompleteFastPath, HandlesDegenerateInputs) {
+  EXPECT_EQ(stable_configuration_complete({}).size(), 0u);
+  const Matching one = stable_configuration_complete({3});
+  EXPECT_EQ(one.degree(0), 0u);
+  const Matching zeros = stable_configuration_complete({0, 0, 0});
+  EXPECT_EQ(zeros.connection_count(), 0u);
+}
+
+TEST(SolverCompleteFastPath, LargePopulationLinearTime) {
+  // 200k peers at b=4: must run in well under a second if O(n + B).
+  const std::size_t n = 200000;
+  const Matching m = stable_configuration_complete(std::vector<std::uint32_t>(n, 4));
+  // Clusters of 5: degree 4 everywhere (n divisible by 5).
+  EXPECT_EQ(m.degree(0), 4u);
+  EXPECT_EQ(m.degree(static_cast<PeerId>(n - 1)), 4u);
+  EXPECT_EQ(m.connection_count(), n / 5 * 10);
+}
+
+TEST(Solver, UniquenessAcrossEquivalentRankings) {
+  // The stable configuration depends on the ranking order only, not on
+  // the score magnitudes.
+  graph::Rng rng(45);
+  const std::size_t n = 25;
+  const graph::Graph g = graph::erdos_renyi_gnp(n, 0.3, rng);
+  const GlobalRanking r1 = GlobalRanking::identity(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) scores[i] = 1000.0 / (static_cast<double>(i) + 1.0);
+  const GlobalRanking r2 = GlobalRanking::from_scores(scores);
+  const ExplicitAcceptance a1(g, r1);
+  const ExplicitAcceptance a2(g, r2);
+  const Matching m1 = stable_configuration(a1, r1, std::vector<std::uint32_t>(n, 2));
+  const Matching m2 = stable_configuration(a2, r2, std::vector<std::uint32_t>(n, 2));
+  for (PeerId p = 0; p < n; ++p) {
+    const auto x = m1.mates(p);
+    const auto y = m2.mates(p);
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t k = 0; k < x.size(); ++k) EXPECT_EQ(x[k], y[k]);
+  }
+}
+
+using SolverSweepParam = std::tuple<std::size_t, double, std::uint32_t>;
+
+class SolverSweep : public ::testing::TestWithParam<SolverSweepParam> {};
+
+TEST_P(SolverSweep, StableAndValidOnRandomInstances) {
+  const auto [n, p, b0] = GetParam();
+  graph::Rng rng(1000 + n + static_cast<std::size_t>(p * 100) + b0);
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnp(n, p, rng);
+  const ExplicitAcceptance acc(g, ranking);
+  const Matching m = stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, b0));
+  EXPECT_TRUE(is_stable(acc, ranking, m));
+  EXPECT_NO_THROW(m.validate(ranking));
+  EXPECT_TRUE(all_blocking_pairs(acc, ranking, m).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, SolverSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(10, 50, 150),
+                       ::testing::Values(0.02, 0.1, 0.4, 0.9),
+                       ::testing::Values<std::uint32_t>(1, 2, 3, 5)));
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,138 @@
+#include "core/symmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/preference_cycle.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+std::vector<WeightedEdge> triangle(double wab, double wbc, double wac) {
+  return {{0, 1, wab}, {1, 2, wbc}, {0, 2, wac}};
+}
+
+TEST(SymmetricMatching, Validation) {
+  const std::vector<std::uint32_t> caps(3, 1);
+  EXPECT_THROW((void)stable_symmetric_matching({{0, 0, 1.0}}, caps), std::invalid_argument);
+  EXPECT_THROW((void)stable_symmetric_matching({{0, 5, 1.0}}, caps), std::invalid_argument);
+  EXPECT_THROW((void)stable_symmetric_matching({{0, 1, 1.0}, {1, 0, 2.0}}, caps),
+               std::invalid_argument);
+  EXPECT_THROW((void)stable_symmetric_matching({{0, 1, 1.0}, {1, 2, 1.0}}, caps),
+               std::invalid_argument);  // tie
+}
+
+TEST(SymmetricMatching, HeaviestEdgeAlwaysMatched) {
+  const auto edges = triangle(3.0, 2.0, 1.0);
+  const Matching m = stable_symmetric_matching(edges, {1, 1, 1});
+  EXPECT_TRUE(m.are_matched(0, 1));  // weight 3 beats everything
+  EXPECT_EQ(m.degree(2), 0u);
+  EXPECT_TRUE(is_symmetric_stable(edges, m));
+}
+
+TEST(SymmetricMatching, TriangleWithCapacityTwo) {
+  const auto edges = triangle(3.0, 2.0, 1.0);
+  const Matching m = stable_symmetric_matching(edges, {2, 2, 2});
+  // All three edges fit.
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_TRUE(m.are_matched(1, 2));
+  EXPECT_TRUE(m.are_matched(0, 2));
+  EXPECT_TRUE(is_symmetric_stable(edges, m));
+}
+
+TEST(SymmetricMatching, GreedyOrderIsNotWeightSum) {
+  // Path a-b-c-d with weights 2, 3, 2.5: greedy takes {b,c} then
+  // nothing else fits at capacity 1 except {a}-? a only knows b (full).
+  const std::vector<WeightedEdge> edges{{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 2.5}};
+  const Matching m = stable_symmetric_matching(edges, {1, 1, 1, 1});
+  EXPECT_TRUE(m.are_matched(1, 2));
+  EXPECT_EQ(m.degree(0), 0u);
+  EXPECT_EQ(m.degree(3), 0u);
+  EXPECT_TRUE(is_symmetric_stable(edges, m));
+}
+
+TEST(SymmetricMatching, EmptyInstances) {
+  const Matching none = stable_symmetric_matching({}, {1, 1});
+  EXPECT_EQ(none.connection_count(), 0u);
+  const Matching zero_caps = stable_symmetric_matching(triangle(3, 2, 1), {0, 0, 0});
+  EXPECT_EQ(zero_caps.connection_count(), 0u);
+}
+
+TEST(SymmetricMatching, SymmetricWeightsHaveNoPreferenceCycle) {
+  // The §7 theory hook: symmetric utilities admit no preference cycle,
+  // so Tan's criterion gives existence + uniqueness.
+  graph::Rng rng(5);
+  const std::size_t n = 9;
+  std::vector<WeightedEdge> edges;
+  for (PeerId a = 0; a < n; ++a) {
+    for (PeerId b = static_cast<PeerId>(a + 1); b < n; ++b) {
+      if (rng.bernoulli(0.6)) edges.push_back({a, b, rng.uniform()});
+    }
+  }
+  const PreferenceSystem prefs = preferences_from_weights(edges, n);
+  EXPECT_TRUE(is_cycle_free(prefs));
+  EXPECT_FALSE(find_preference_cycle(prefs).has_value());
+}
+
+TEST(SymmetricMatching, StableOnRandomInstances) {
+  graph::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + rng.below(30);
+    std::vector<WeightedEdge> edges;
+    for (PeerId a = 0; a < n; ++a) {
+      for (PeerId b = static_cast<PeerId>(a + 1); b < n; ++b) {
+        if (rng.bernoulli(0.3)) edges.push_back({a, b, rng.uniform()});
+      }
+    }
+    std::vector<std::uint32_t> caps(n);
+    for (auto& c : caps) c = static_cast<std::uint32_t>(rng.below(4));
+    const Matching m = stable_symmetric_matching(edges, caps);
+    EXPECT_TRUE(is_symmetric_stable(edges, m)) << "trial " << trial;
+    for (PeerId p = 0; p < n; ++p) EXPECT_LE(m.degree(p), caps[p]);
+  }
+}
+
+TEST(SymmetricMatching, UniquenessViaIndependentGreedyOrders) {
+  // Distinct weights make the outcome schedule-independent: shuffling
+  // the edge list before solving changes nothing.
+  graph::Rng rng(7);
+  const std::size_t n = 20;
+  std::vector<WeightedEdge> edges;
+  for (PeerId a = 0; a < n; ++a) {
+    for (PeerId b = static_cast<PeerId>(a + 1); b < n; ++b) {
+      if (rng.bernoulli(0.4)) edges.push_back({a, b, rng.uniform()});
+    }
+  }
+  const Matching m1 = stable_symmetric_matching(edges, std::vector<std::uint32_t>(n, 2));
+  auto shuffled = edges;
+  rng.shuffle(shuffled);
+  const Matching m2 = stable_symmetric_matching(shuffled, std::vector<std::uint32_t>(n, 2));
+  for (PeerId p = 0; p < n; ++p) {
+    const auto a = m1.mates(p);
+    const auto b = m2.mates(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(SymmetricBlockingPair, DetectsInstability) {
+  const auto edges = triangle(3.0, 2.0, 1.0);
+  const GlobalRanking id = GlobalRanking::identity(3);
+  Matching unstable(3, 1);
+  unstable.connect(0, 2, id);  // weight 1; {0,1} with weight 3 blocks
+  EXPECT_TRUE(is_symmetric_blocking_pair(edges, unstable, 0, 1));
+  EXPECT_FALSE(is_symmetric_stable(edges, unstable));
+  // Unacceptable pairs never block.
+  EXPECT_FALSE(is_symmetric_blocking_pair({{0, 1, 1.0}}, Matching(3, 1), 1, 2));
+}
+
+TEST(PreferencesFromWeights, SortedByDescendingWeight) {
+  const auto prefs = preferences_from_weights(triangle(3.0, 2.0, 1.0), 3);
+  EXPECT_EQ(prefs[0], (std::vector<PeerId>{1, 2}));  // 3.0 then 1.0
+  EXPECT_EQ(prefs[1], (std::vector<PeerId>{0, 2}));  // 3.0 then 2.0
+  EXPECT_EQ(prefs[2], (std::vector<PeerId>{1, 0}));  // 2.0 then 1.0
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,119 @@
+#include "core/ties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace strat::core {
+namespace {
+
+TEST(QuantizeScores, Validation) {
+  EXPECT_THROW((void)quantize_scores({}, 4), std::invalid_argument);
+  EXPECT_THROW((void)quantize_scores({1.0, 2.0}, 0), std::invalid_argument);
+}
+
+TEST(QuantizeScores, LevelsAndOrdering) {
+  // Scores 10, 20, 30, 40 into 2 levels: {30, 40} -> level 0,
+  // {10, 20} -> level 1.
+  const TieLevels ties = quantize_scores({10.0, 20.0, 30.0, 40.0}, 2);
+  EXPECT_EQ(ties.levels, 2u);
+  EXPECT_EQ(ties.level[0], 1u);
+  EXPECT_EQ(ties.level[1], 1u);
+  EXPECT_EQ(ties.level[2], 0u);
+  EXPECT_EQ(ties.level[3], 0u);
+  EXPECT_TRUE(ties.strictly_prefers(3, 0));
+  EXPECT_FALSE(ties.strictly_prefers(3, 2));  // same class: tied
+  EXPECT_FALSE(ties.strictly_prefers(0, 1));
+}
+
+TEST(QuantizeScores, TieBreakByIdInsideClass) {
+  const TieLevels ties = quantize_scores({5.0, 5.0, 5.0}, 1);
+  EXPECT_EQ(ties.levels, 1u);
+  // Strict ranking exists and prefers smaller ids within the class.
+  EXPECT_TRUE(ties.ranking.prefers(0, 1));
+  EXPECT_TRUE(ties.ranking.prefers(1, 2));
+}
+
+TEST(QuantizeScores, StrictRankingRefinesClasses) {
+  graph::Rng rng(1);
+  std::vector<double> scores(100);
+  for (auto& s : scores) s = rng.uniform();
+  const TieLevels ties = quantize_scores(scores, 8);
+  for (PeerId a = 0; a < 100; ++a) {
+    for (PeerId b = 0; b < 100; ++b) {
+      if (ties.strictly_prefers(a, b)) {
+        EXPECT_TRUE(ties.ranking.prefers(a, b))
+            << "class order must be preserved by the tie-broken ranking";
+      }
+    }
+  }
+}
+
+TEST(Ties, TieBrokenStableConfigurationIsWeaklyStable) {
+  // §3's simulation claim: solving with ANY tie-breaking strict order
+  // yields a configuration with no strictly blocking pair.
+  graph::Rng rng(2);
+  for (const std::size_t levels : {2u, 5u, 20u}) {
+    const std::size_t n = 80;
+    std::vector<double> scores(n);
+    for (auto& s : scores) s = rng.uniform();
+    const TieLevels ties = quantize_scores(scores, levels);
+    const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+    const ExplicitAcceptance acc(g, ties.ranking);
+    const Matching m =
+        stable_configuration(acc, ties.ranking, std::vector<std::uint32_t>(n, 2));
+    EXPECT_TRUE(is_weakly_stable(acc, ties, m)) << "levels=" << levels;
+  }
+}
+
+TEST(Ties, StrictBlockingDetection) {
+  const TieLevels ties = quantize_scores({40.0, 30.0, 20.0, 10.0}, 4);
+  const CompleteAcceptance acc(4, ties.ranking);
+  Matching m(4, 1);
+  m.connect(0, 3, ties.ranking);
+  m.connect(1, 2, ties.ranking);
+  // 0 (with worst peer 3) and 1 (with 2): both strictly improve.
+  EXPECT_TRUE(is_strictly_blocking_pair(acc, ties, m, 0, 1));
+  // Matched pairs never block.
+  EXPECT_FALSE(is_strictly_blocking_pair(acc, ties, m, 0, 3));
+}
+
+TEST(Ties, SameClassSwapsDoNotBlock) {
+  // Peers 1 and 2 are tied; 0 is matched with 1 — pair {0, 2} must not
+  // strictly block, since 0 would not strictly improve.
+  const TieLevels ties = quantize_scores({30.0, 20.0, 20.001, 5.0}, 3);
+  ASSERT_EQ(ties.level[1], ties.level[2]);
+  const CompleteAcceptance acc(4, ties.ranking);
+  Matching m(4, 1);
+  m.connect(0, 2, ties.ranking);
+  m.connect(1, 3, ties.ranking);
+  EXPECT_FALSE(is_strictly_blocking_pair(acc, ties, m, 0, 1));
+}
+
+TEST(Ties, StratificationSurvivesCoarseQuantization) {
+  // The paper's "results hold with ties": mate-rank offsets stay small
+  // relative to n whether the ranking has full resolution or only a
+  // handful of tie classes.
+  graph::Rng rng(3);
+  const std::size_t n = 400;
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) scores[i] = static_cast<double>(n - i);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 16.0, rng);
+
+  auto offset_with_levels = [&](std::size_t levels) {
+    const TieLevels ties = quantize_scores(scores, levels);
+    const ExplicitAcceptance acc(g, ties.ranking);
+    const Matching m =
+        stable_configuration(acc, ties.ranking, std::vector<std::uint32_t>(n, 3));
+    return mean_abs_offset(m, ties.ranking) / static_cast<double>(n);
+  };
+  const double full = offset_with_levels(n);  // effectively strict
+  const double coarse = offset_with_levels(10);
+  EXPECT_LT(full, 0.12);
+  EXPECT_LT(coarse, 0.15);
+}
+
+}  // namespace
+}  // namespace strat::core

@@ -1,0 +1,123 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+
+namespace strat::graph {
+namespace {
+
+TEST(Components, EmptyGraph) {
+  const Components c = connected_components(Graph{});
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.largest(), 0u);
+  EXPECT_DOUBLE_EQ(c.mean_size(), 0.0);
+  EXPECT_DOUBLE_EQ(c.vertex_mean_size(), 0.0);
+}
+
+TEST(Components, IsolatedVertices) {
+  const Components c = connected_components(Graph(5));
+  EXPECT_EQ(c.count(), 5u);
+  EXPECT_EQ(c.largest(), 1u);
+  EXPECT_DOUBLE_EQ(c.mean_size(), 1.0);
+}
+
+TEST(Components, TwoTriangles) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.largest(), 3u);
+  EXPECT_DOUBLE_EQ(c.mean_size(), 3.0);
+  EXPECT_DOUBLE_EQ(c.vertex_mean_size(), 3.0);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(Components, VertexMeanSizeWeightsBigComponents) {
+  // Component sizes 4 and 1: component-mean 2.5, vertex-mean (16+1)/5.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const Components c = connected_components(g);
+  EXPECT_DOUBLE_EQ(c.mean_size(), 2.5);
+  EXPECT_DOUBLE_EQ(c.vertex_mean_size(), 17.0 / 5.0);
+}
+
+TEST(Components, IsConnectedCases) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+  EXPECT_TRUE(is_connected(ring_lattice(5, 1)));
+}
+
+TEST(Components, OneRegularGraphCannotBeConnected) {
+  // §4.1: a 1-regular graph on n >= 3 vertices is a perfect matching,
+  // hence disconnected.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(connected_components(g).count(), 3u);
+}
+
+TEST(Components, CycleIsUniqueConnectedTwoRegular) {
+  // §4.1: the cycle is the unique connected 2-regular graph; two
+  // disjoint cycles are 2-regular but disconnected.
+  EXPECT_TRUE(is_connected(ring_lattice(7, 1)));
+  Graph two_cycles(6);
+  for (Vertex u = 0; u < 3; ++u) two_cycles.add_edge(u, (u + 1) % 3);
+  for (Vertex u = 0; u < 3; ++u) two_cycles.add_edge(3 + u, 3 + (u + 1) % 3);
+  EXPECT_FALSE(is_connected(two_cycles));
+}
+
+TEST(BfsDistances, PathGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(BfsDistances, UnreachableIsMax) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(BfsDistances, BadSourceThrows) {
+  Graph g(2);
+  EXPECT_THROW((void)bfs_distances(g, 5), std::invalid_argument);
+}
+
+TEST(Diameter, CycleAndPath) {
+  EXPECT_EQ(diameter(ring_lattice(8, 1)), 4u);
+  Graph path(5);
+  for (Vertex u = 0; u + 1 < 5; ++u) path.add_edge(u, u + 1);
+  EXPECT_EQ(diameter(path), 4u);
+}
+
+TEST(Diameter, DisconnectedThrows) {
+  EXPECT_THROW((void)diameter(Graph(3)), std::invalid_argument);
+}
+
+TEST(Diameter, TrivialGraphs) {
+  EXPECT_EQ(diameter(Graph{}), 0u);
+  EXPECT_EQ(diameter(Graph(1)), 0u);
+}
+
+}  // namespace
+}  // namespace strat::graph

@@ -1,0 +1,106 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace strat::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.order(), 0u);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 0.0);
+}
+
+TEST(Graph, AddEdgeUpdatesDegreesAndCount) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 1.0);
+}
+
+TEST(Graph, RejectsLoopsAndBadVertices) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateDetectionOptIn) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1, /*check_duplicate=*/true), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0, /*check_duplicate=*/true), std::invalid_argument);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 9));
+}
+
+TEST(Graph, FinalizeSortsNeighborsAndKeepsLookups) {
+  Graph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, IsolateRemovesBothDirections) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Graph, IsolateOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.isolate(2), std::invalid_argument);
+}
+
+TEST(Graph, GrowAddsIsolatedVertices) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const Vertex first = g.grow(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.order(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+  g.add_edge(4, 0);
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Graph, NeighborsSpanReflectsEdges) {
+  Graph g(3);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  const auto nbrs = g.neighbors(1);
+  EXPECT_EQ(nbrs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace strat::graph

@@ -1,0 +1,90 @@
+// Integration: the Figure 9 agreement between Algorithm 3 and exact
+// Monte-Carlo simulation, at a test-sized scale.
+#include <gtest/gtest.h>
+
+#include "analysis/independent_bmatching.hpp"
+#include "analysis/monte_carlo.hpp"
+
+namespace strat {
+namespace {
+
+TEST(ModelVsMonteCarlo, Figure9ShapeAtReducedScale) {
+  // Paper: n = 5000, p = 1%, b0 = 2, peer 3000, 10^6 realizations.
+  // Test: n = 500, same mean degree (p = 50/499 would be too dense; we
+  // keep d = 20), peer 300, 1500 realizations — enough to check the
+  // distribution shapes band-wise.
+  const std::size_t n = 500;
+  const double p = 20.0 / static_cast<double>(n - 1);
+  const core::PeerId peer = 300;
+
+  analysis::BMatchingOptions model_opt;
+  model_opt.n = n;
+  model_opt.p = p;
+  model_opt.b0 = 2;
+  model_opt.capture_rows = {peer};
+  const auto model = analysis::analyze_bmatching(model_opt);
+
+  graph::Rng rng(4242);
+  analysis::MonteCarloOptions mc_opt;
+  mc_opt.n = n;
+  mc_opt.p = p;
+  mc_opt.b0 = 2;
+  mc_opt.realizations = 1500;
+  mc_opt.tracked = {peer};
+  const auto mc = analysis::estimate_mate_distribution(mc_opt, rng);
+
+  // Band-wise comparison of first- and second-choice distributions.
+  auto band = [&](const std::vector<double>& row, std::size_t lo, std::size_t hi) {
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += row[j];
+    return sum;
+  };
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto& model_row = model.rows.at(peer)[c];
+    const auto mc_row = mc.probability_row(0, c);
+    for (const auto& [lo, hi] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {200, 280}, {280, 320}, {320, 400}, {0, 200}, {400, 500}}) {
+      EXPECT_NEAR(band(mc_row, lo, hi), band(model_row, lo, hi), 0.06)
+          << "choice " << c << " band " << lo << ".." << hi;
+    }
+    // Total match mass agrees.
+    EXPECT_NEAR(mc.match_mass(0, c), model.mass(peer, c), 0.05) << "choice " << c;
+  }
+}
+
+TEST(ModelVsMonteCarlo, FirstChoiceStochasticallyBetterThanSecond) {
+  // The first choice is the *best* mate, so its distribution puts
+  // strictly more mass on ranks better than the peer's own than the
+  // second choice does — in the model and in Monte Carlo alike.
+  const std::size_t n = 400;
+  const double p = 18.0 / static_cast<double>(n - 1);
+  const core::PeerId peer = 200;
+
+  analysis::BMatchingOptions opt;
+  opt.n = n;
+  opt.p = p;
+  opt.b0 = 2;
+  opt.capture_rows = {peer};
+  const auto model = analysis::analyze_bmatching(opt);
+  const auto& first = model.rows.at(peer)[0];
+  const auto& second = model.rows.at(peer)[1];
+  auto mass_above = [&](const std::vector<double>& row) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < peer; ++j) sum += row[j];
+    return sum;
+  };
+  EXPECT_GT(mass_above(first), mass_above(second) + 0.05);
+
+  graph::Rng rng(99);
+  analysis::MonteCarloOptions mc_opt;
+  mc_opt.n = n;
+  mc_opt.p = p;
+  mc_opt.b0 = 2;
+  mc_opt.realizations = 800;
+  mc_opt.tracked = {peer};
+  const auto mc = analysis::estimate_mate_distribution(mc_opt, rng);
+  EXPECT_GT(mass_above(mc.probability_row(0, 0)), mass_above(mc.probability_row(0, 1)) + 0.05);
+}
+
+}  // namespace
+}  // namespace strat

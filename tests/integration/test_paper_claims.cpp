@@ -1,0 +1,183 @@
+// Integration: direct checks of the paper's headline quantitative
+// claims, each annotated with its section.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/churn.hpp"
+#include "core/dynamics.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace strat {
+namespace {
+
+using core::GlobalRanking;
+using core::Matching;
+using core::PeerId;
+
+TEST(PaperClaims, S3_UniqueStableConfigurationExists) {
+  // §3: a global-ranking instance has exactly one stable configuration.
+  // We verify by checking that ANY stable configuration found by local
+  // search equals the solver's output (uniqueness is exercised more
+  // thoroughly in test_theorem1).
+  graph::Rng rng(1);
+  const std::size_t n = 50;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 8.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const Matching stable =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 2));
+  EXPECT_TRUE(core::is_stable(acc, ranking, stable));
+}
+
+TEST(PaperClaims, S3_ConvergenceWithinDUnits) {
+  // §3: "the stable configuration is reached in less than n d
+  // initiatives (that is d base units)" — Figure 1's setting.
+  graph::Rng rng(2);
+  const std::size_t n = 1000;
+  const double d = 10.0;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  core::DynamicsEngine engine(acc, ranking, std::vector<std::uint32_t>(n, 1),
+                              core::Strategy::kBestMate, rng);
+  const double units = engine.run_until_stable(d);
+  EXPECT_LE(units, d);
+}
+
+TEST(PaperClaims, S3_RemovingGoodPeerCausesMoreDisorderThanBadPeer) {
+  // §3 / Figure 2: "due to a domino effect, removing a good peer
+  // generally induces more disorder than removing a bad peer."
+  // Averaged over several instances for robustness.
+  const std::size_t n = 400;
+  const double d = 10.0;
+  double disorder_good = 0.0;
+  double disorder_bad = 0.0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    graph::Rng rng(100 + t);
+    const GlobalRanking ranking = GlobalRanking::identity(n);
+    const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+    const core::ExplicitAcceptance acc(g, ranking);
+    const Matching stable =
+        core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 1));
+    auto removal_disorder = [&](PeerId victim) {
+      graph::Graph perturbed = g;
+      perturbed.isolate(victim);
+      const core::ExplicitAcceptance acc2(perturbed, ranking);
+      std::vector<std::uint32_t> caps(n, 1);
+      caps[victim] = 0;
+      const Matching new_stable = core::stable_configuration(acc2, ranking, caps);
+      Matching seeded{std::vector<std::uint32_t>(caps)};
+      for (PeerId p = 0; p < n; ++p) {
+        const PeerId q = stable.mate(p);
+        if (q != core::kNoPeer && q > p && p != victim && q != victim) {
+          seeded.connect(p, q, ranking);
+        }
+      }
+      return core::disorder_1matching(seeded, new_stable, ranking);
+    };
+    disorder_good += removal_disorder(0);                                // best peer
+    disorder_bad += removal_disorder(static_cast<PeerId>(n - 10));       // near-worst
+  }
+  EXPECT_GT(disorder_good / trials, disorder_bad / trials);
+}
+
+TEST(PaperClaims, S4_ConstantB0MatchingClustersHaveSizeB0Plus1) {
+  // §4.1: complete graph + constant b0 -> clusters of exactly b0+1.
+  for (const std::uint32_t b0 : {2u, 3u, 4u, 5u}) {
+    const std::size_t n = (b0 + 1) * 6;
+    const Matching m = core::stable_configuration_complete(
+        std::vector<std::uint32_t>(n, b0));
+    const auto stats = core::cluster_stats(m);
+    EXPECT_DOUBLE_EQ(stats.vertex_mean_size, static_cast<double>(b0 + 1)) << "b0=" << b0;
+    EXPECT_EQ(stats.largest, b0 + 1u);
+  }
+}
+
+TEST(PaperClaims, S4_TruncatedRemainderCluster) {
+  // §4.1: "the remainder, if any, is a truncated complete subgraph."
+  const Matching m = core::stable_configuration_complete(std::vector<std::uint32_t>(10, 2));
+  // 10 = 3+3+3+1: the last peer ends up alone (a truncated cluster).
+  const auto stats = core::cluster_stats(m);
+  EXPECT_EQ(stats.largest, 3u);
+  EXPECT_EQ(m.degree(9), 0u);
+}
+
+TEST(PaperClaims, S4_PhaseTransitionInSigma) {
+  // §4.2 / Figure 6: around sigma ~ 0.15 the cluster size explodes.
+  const std::size_t n = 30000;
+  auto mean_cluster = [&](double sigma, std::uint64_t seed) {
+    graph::Rng rng(seed);
+    std::vector<std::uint32_t> caps(n);
+    for (auto& b : caps) {
+      b = static_cast<std::uint32_t>(
+          std::max(1.0, std::round(rng.normal(6.0, sigma))));
+    }
+    const Matching m = core::stable_configuration_complete(caps);
+    return core::cluster_stats(m).vertex_mean_size;
+  };
+  const double before = mean_cluster(0.01, 3);
+  const double after = mean_cluster(0.5, 4);
+  EXPECT_NEAR(before, 7.0, 0.5);  // essentially constant 6-matching
+  EXPECT_GT(after, 20.0 * before);
+}
+
+TEST(PaperClaims, S4_MmoDropsAcrossTheTransition) {
+  // §4.2 / Figure 6: as clusters explode, the MMO *decreases*.
+  const std::size_t n = 30000;
+  const GlobalRanking ranking = GlobalRanking::identity(n);
+  auto mmo_at = [&](double sigma, std::uint64_t seed) {
+    graph::Rng rng(seed);
+    std::vector<std::uint32_t> caps(n);
+    for (auto& b : caps) {
+      b = static_cast<std::uint32_t>(
+          std::max(1.0, std::round(rng.normal(6.0, sigma))));
+    }
+    const Matching m = core::stable_configuration_complete(caps);
+    return core::mean_max_offset(m, ranking);
+  };
+  const double constant_mmo = mmo_at(0.01, 5);
+  const double variable_mmo = mmo_at(0.5, 6);
+  EXPECT_NEAR(constant_mmo, core::mmo_closed_form(6), 0.2);
+  EXPECT_LT(variable_mmo, constant_mmo);
+}
+
+TEST(PaperClaims, S4_B0AtLeast3ForConnectivityHeuristic) {
+  // §4.1: 1-regular collaboration graphs are disconnected; 2-regular
+  // ones are unions of cycles; b0 >= 3 is the connectivity lower bound
+  // argument behind BitTorrent's 4 (3 TFT + 1) default.
+  const Matching m1 = core::stable_configuration_complete(std::vector<std::uint32_t>(12, 1));
+  EXPECT_GT(core::cluster_stats(m1).components, 1u);
+  const Matching m2 = core::stable_configuration_complete(std::vector<std::uint32_t>(12, 2));
+  EXPECT_GT(core::cluster_stats(m2).components, 1u);
+}
+
+TEST(PaperClaims, S3_ChurnDisorderRoughlyProportionalToRate) {
+  // §3 / Figure 3: "The average disorder is roughly proportional to the
+  // churn rate." Check monotonicity across three rates (proportionality
+  // itself is noisy at test scale).
+  auto plateau = [](double rate, std::uint64_t seed) {
+    graph::Rng rng(seed);
+    core::ChurnParams p;
+    p.initial_peers = 300;
+    p.expected_degree = 10.0;
+    p.churn_rate = rate;
+    core::ChurnSimulator sim(p, rng);
+    sim.run(8.0, 1);  // burn-in
+    const auto traj = sim.run(8.0, 2);
+    double mean = 0.0;
+    for (const auto& pt : traj) mean += pt.disorder;
+    return mean / static_cast<double>(traj.size());
+  };
+  const double low = plateau(0.0005, 21);
+  const double mid = plateau(0.01, 22);
+  const double high = plateau(0.03, 23);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+}  // namespace
+}  // namespace strat

@@ -1,0 +1,140 @@
+// Parameterized property sweeps across the whole stack: invariants
+// that must hold for every sensible parameter combination, not just
+// the figures' settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bittorrent/swarm.hpp"
+#include "core/bilateral.hpp"
+#include "core/blocking.hpp"
+#include "core/dynamics.hpp"
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace strat {
+namespace {
+
+// ---------------------------------------------------------------- swarm
+
+using SwarmParam = std::tuple<std::size_t, std::size_t, double, bool>;
+// (leechers, tft_slots, neighbor_degree, post_flashcrowd)
+
+class SwarmInvariantSweep : public ::testing::TestWithParam<SwarmParam> {};
+
+TEST_P(SwarmInvariantSweep, ConservationAndBounds) {
+  const auto [peers, tft, degree, post] = GetParam();
+  graph::Rng rng(7000 + peers + tft * 13 + static_cast<std::size_t>(degree));
+  bt::SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 1;
+  cfg.num_pieces = 64;
+  cfg.piece_kb = 32.0;
+  cfg.tft_slots = tft;
+  cfg.neighbor_degree = degree;
+  cfg.post_flashcrowd = post;
+  cfg.initial_completion = post ? 0.5 : 0.0;
+  std::vector<double> bw(peers);
+  for (std::size_t i = 0; i < peers; ++i) {
+    bw[i] = 200.0 + 17.0 * static_cast<double>(i);
+  }
+  bt::Swarm swarm(cfg, bw, rng);
+  const std::size_t rounds = 15;
+  swarm.run(rounds);
+
+  // Byte conservation.
+  double uploaded = 0.0;
+  double downloaded = 0.0;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+    uploaded += swarm.stats(p).uploaded_kb;
+    downloaded += swarm.stats(p).downloaded_kb;
+  }
+  EXPECT_NEAR(uploaded, downloaded, 1e-6);
+
+  // Capacity bounds, piece bounds, seed integrity.
+  const double seconds = static_cast<double>(rounds) * cfg.round_seconds;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+    EXPECT_LE(swarm.stats(p).uploaded_kb, swarm.stats(p).upload_kbps / 8.0 * seconds + 1e-6);
+    EXPECT_LE(swarm.stats(p).pieces, 64u);
+  }
+  EXPECT_EQ(swarm.stats(static_cast<core::PeerId>(peers)).pieces, 64u);
+  EXPECT_DOUBLE_EQ(swarm.stats(static_cast<core::PeerId>(peers)).downloaded_kb, 0.0);
+
+  // Availability counters equal the sum of holdings.
+  const auto stats = swarm.availability_stats();
+  double holdings = 0.0;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+    holdings += static_cast<double>(swarm.stats(p).pieces);
+  }
+  EXPECT_NEAR(stats.mean * 64.0, holdings, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SwarmInvariantSweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(20, 60),
+                                            ::testing::Values<std::size_t>(1, 3, 5),
+                                            ::testing::Values(8.0, 15.0),
+                                            ::testing::Bool()));
+
+// ------------------------------------------------------------ bilateral
+
+using BilateralParam = std::tuple<std::uint32_t, std::uint32_t, int>;
+// (upload_slots, download_slots, policy)
+
+class BilateralSweep : public ::testing::TestWithParam<BilateralParam> {};
+
+TEST_P(BilateralSweep, StableAndConsistent) {
+  const auto [up, down, policy_ix] = GetParam();
+  graph::Rng rng(8000 + up * 31 + down * 7 + static_cast<std::uint32_t>(policy_ix));
+  const std::size_t n = 60;
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 10.0, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  core::BilateralConfig cfg;
+  cfg.upload_slots = up;
+  cfg.download_slots = down;
+  cfg.policy = static_cast<core::ServerPolicy>(policy_ix);
+  const auto a = core::bilateral_assignment(acc, ranking, cfg, rng);
+  EXPECT_TRUE(core::bilateral_is_stable(acc, ranking, cfg, a));
+  for (core::PeerId p = 0; p < n; ++p) {
+    EXPECT_LE(a.serves[p].size(), up);
+    EXPECT_LE(a.sources[p].size(), down);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BilateralSweep,
+                         ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 4),
+                                            ::testing::Values<std::uint32_t>(1, 3),
+                                            ::testing::Values(0, 1)));
+
+// ----------------------------------------------------- solver vs dynamics
+
+using EquivalenceParam = std::tuple<std::size_t, double>;
+
+class SolverDynamicsEquivalence : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(SolverDynamicsEquivalence, FixedPointIsAlgorithm1Output) {
+  // For any (n, d): once best-mate dynamics stop making progress, the
+  // configuration equals Algorithm 1's output exactly.
+  const auto [n, d] = GetParam();
+  graph::Rng rng(9000 + n + static_cast<std::size_t>(d * 10));
+  const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  core::DynamicsEngine engine(acc, ranking, std::vector<std::uint32_t>(n, 2),
+                              core::Strategy::kBestMate, rng);
+  engine.run_until_stable(200.0);
+  ASSERT_DOUBLE_EQ(engine.disorder(), 0.0);
+  for (core::PeerId p = 0; p < n; ++p) {
+    const auto a = engine.current().mates(p);
+    const auto b = engine.stable().mates(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SolverDynamicsEquivalence,
+                         ::testing::Combine(::testing::Values<std::size_t>(50, 150),
+                                            ::testing::Values(4.0, 12.0, 25.0)));
+
+}  // namespace
+}  // namespace strat

@@ -1,0 +1,128 @@
+// Integration: the full §6 pipeline — bandwidth model -> global ranking
+// -> matching model -> protocol-level swarm — tells one consistent
+// stratification story.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/efficiency.hpp"
+#include "bittorrent/swarm.hpp"
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "sim/stats.hpp"
+
+namespace strat {
+namespace {
+
+TEST(StratificationPipeline, MatchingModelPredictsRankCloseMates) {
+  // Matching-model side: solve one instance with Saroiu bandwidths and
+  // measure mate rank offsets.
+  const std::size_t n = 600;
+  const double d = 20.0;
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const auto bw = model.representative_sample(n);
+  std::vector<double> per_slot(n);
+  for (std::size_t i = 0; i < n; ++i) per_slot[i] = bw[i] / 4.0;
+  const core::GlobalRanking ranking = core::GlobalRanking::from_scores(per_slot);
+  graph::Rng rng(7);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const core::Matching m =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 3));
+  // Mean |rank offset| between TFT mates is a small fraction of n.
+  const double offset = core::mean_abs_offset(m, ranking);
+  EXPECT_GT(offset, 0.0);
+  EXPECT_LT(offset / static_cast<double>(n), 0.12);
+}
+
+TEST(StratificationPipeline, SwarmAgreesWithMatchingModelOnPartnerRanks) {
+  // Protocol side at the same scale: the swarm's reciprocated TFT
+  // pairs show the same rank-closeness the matching model predicts.
+  const std::size_t n = 100;
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const auto bw = model.representative_sample(n);
+
+  // Matching model offsets (normalized).
+  std::vector<double> per_slot(n);
+  for (std::size_t i = 0; i < n; ++i) per_slot[i] = bw[i] / 4.0;
+  const core::GlobalRanking ranking = core::GlobalRanking::from_scores(per_slot);
+  graph::Rng rng_model(11);
+  const graph::Graph g = graph::erdos_renyi_gnd(n, 30.0, rng_model);
+  const core::ExplicitAcceptance acc(g, ranking);
+  const core::Matching matched =
+      core::stable_configuration(acc, ranking, std::vector<std::uint32_t>(n, 3));
+  const double model_offset =
+      core::mean_abs_offset(matched, ranking) / static_cast<double>(n);
+
+  // Swarm offsets: long-lived payload, bootstrap excluded.
+  bt::SwarmConfig cfg;
+  cfg.num_peers = n;
+  cfg.seeds = 1;
+  cfg.num_pieces = 2048;
+  cfg.piece_kb = 1024.0;
+  cfg.neighbor_degree = 30.0;
+  cfg.initial_completion = 0.5;
+  graph::Rng rng_swarm(12);
+  bt::Swarm swarm(cfg, bw, rng_swarm);
+  swarm.run(20);
+  swarm.reset_stratification();
+  swarm.run(30);
+  const auto report = swarm.stratification();
+
+  // Both mechanisms stratify: offsets well below random pairing (~1/3)
+  // and within a factor ~4 of each other.
+  EXPECT_LT(model_offset, 0.15);
+  EXPECT_LT(report.mean_normalized_offset, 0.35);
+  EXPECT_GT(report.partner_rank_correlation, 0.4);
+  EXPECT_LT(report.mean_normalized_offset, std::max(0.12, model_offset * 6.0));
+}
+
+TEST(StratificationPipeline, EfficiencyCurveFeedsOnBandwidthModel) {
+  // End-to-end Figure 11 smoke: curve generation from the bandwidth
+  // model works at moderate n and preserves the qualitative shape.
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  bt::EfficiencyOptions opt;
+  opt.n = 300;
+  const auto curve = bt::expected_efficiency_curve(model, opt);
+  ASSERT_EQ(curve.size(), 300u);
+  EXPECT_LT(curve.front().efficiency, 1.05);
+  const double tail = curve[290].efficiency;
+  EXPECT_GT(tail, 0.9);
+}
+
+TEST(StratificationPipeline, FasterPeersDownloadFaster) {
+  // QoS consequence of stratification (the premise of Figure 11): the
+  // download rate a peer obtains through TFT while leeching correlates
+  // with its upload rank. Finished peers leave (stay_as_seed = false)
+  // so late-stage seed generosity does not wash the signal out.
+  const std::size_t n = 80;
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const auto bw = model.representative_sample(n);
+  bt::SwarmConfig cfg;
+  cfg.num_peers = n;
+  cfg.seeds = 2;
+  cfg.num_pieces = 256;
+  cfg.piece_kb = 256.0;
+  cfg.neighbor_degree = 25.0;
+  cfg.initial_completion = 0.4;
+  cfg.stay_as_seed = false;
+  graph::Rng rng(14);
+  bt::Swarm swarm(cfg, bw, rng);
+  swarm.run(200);
+  std::vector<double> ranks;
+  std::vector<double> rates;
+  for (core::PeerId p = 0; p < n; ++p) {
+    const double rate = swarm.leech_download_kbps(p);
+    if (rate <= 0.0) continue;
+    ranks.push_back(static_cast<double>(p));  // bw sorted descending
+    rates.push_back(rate);
+  }
+  ASSERT_GT(ranks.size(), n / 2);
+  // Worse rank (slower upload) -> slower download: negative correlation.
+  EXPECT_LT(sim::spearman(ranks, rates), -0.3);
+}
+
+}  // namespace
+}  // namespace strat

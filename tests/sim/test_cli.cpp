@@ -1,0 +1,62 @@
+#include "sim/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace strat::sim {
+namespace {
+
+Cli make(std::initializer_list<const char*> args, std::vector<std::string> known) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli cli = make({"--n=100", "--p=0.5"}, {"n", "p"});
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceForm) {
+  const Cli cli = make({"--n", "42"}, {"n"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  const Cli cli = make({"--csv"}, {"csv"});
+  EXPECT_TRUE(cli.get_bool("csv"));
+  EXPECT_TRUE(cli.has("csv"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make({}, {"n", "csv"});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_FALSE(cli.get_bool("csv"));
+  EXPECT_FALSE(cli.has("n"));
+  EXPECT_EQ(cli.get_string("n", "x"), "x");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(make({"--oops=1"}, {"n"}), std::invalid_argument);
+}
+
+TEST(Cli, NonFlagTokenThrows) {
+  EXPECT_THROW(make({"positional"}, {"n"}), std::invalid_argument);
+}
+
+TEST(Cli, BoolExplicitValues) {
+  EXPECT_TRUE(make({"--x=true"}, {"x"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=1"}, {"x"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=yes"}, {"x"}).get_bool("x"));
+  EXPECT_FALSE(make({"--x=false"}, {"x"}).get_bool("x", true));
+}
+
+TEST(Cli, ProgramName) {
+  const Cli cli = make({}, {});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+}  // namespace
+}  // namespace strat::sim

@@ -1,0 +1,103 @@
+#include "sim/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace strat::sim {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.edge(5), 10.0);
+  EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.center(4), 9.0);
+}
+
+TEST(Histogram, AccumulatesAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(-5.0);   // clamps into bin 0
+  h.add(50.0);   // clamps into bin 4
+  h.add(10.0);   // exactly hi: clamps into bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, WeightsRespected) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 4.0, 8);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 4) + 0.3);
+  const auto d = h.density();
+  double integral = 0.0;
+  for (double v : d) integral += v * (4.0 / 8.0);
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  for (double v : h.density()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("[1, 2)"), std::string::npos);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(-1.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, GeometricBinning) {
+  LogHistogram h(1.0, 10000.0, 4);  // decades: [1,10),[10,100),...
+  EXPECT_NEAR(h.edge(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.edge(2), 100.0, 1e-9);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(5000.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(LogHistogram, RejectsNonPositiveSamples) {
+  LogHistogram h(1.0, 100.0, 2);
+  EXPECT_THROW(h.add(0.0), std::invalid_argument);
+  EXPECT_THROW(h.add(-2.0), std::invalid_argument);
+}
+
+TEST(LogHistogram, CumulativeFractionIsMonotoneAndEndsAtOne) {
+  LogHistogram h(1.0, 1000.0, 6);
+  for (double v : {2.0, 3.0, 30.0, 300.0, 900.0}) h.add(v);
+  const auto cum = h.cumulative_fraction();
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_NEAR(cum.back(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace strat::sim

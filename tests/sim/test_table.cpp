@@ -1,0 +1,77 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strat::sim {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, StoresRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.row(1)[1], "4");
+}
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"long-name", "2"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Header line and both rows -> at least 4 lines with the separator.
+  EXPECT_GE(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "with\nnewline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\nnewline\""), std::string::npos);
+  EXPECT_EQ(csv.rfind("a,b", 0), 0u);
+}
+
+TEST(AsciiSeries, RendersOneLinePerPoint) {
+  const std::string text = ascii_series({0.0, 1.0, 2.0}, {0.0, 0.5, 1.0});
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(AsciiSeries, EmptyAndMismatch) {
+  EXPECT_EQ(ascii_series({}, {}), "");
+  EXPECT_THROW((void)ascii_series({1.0}, {}), std::invalid_argument);
+}
+
+TEST(AsciiSeries, FlatSeriesDoesNotDivideByZero) {
+  const std::string text = ascii_series({0.0, 1.0}, {3.0, 3.0});
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace strat::sim
