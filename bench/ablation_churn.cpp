@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const double units = cli.get_double("units", 15.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
 
-  bench::banner("Ablation: churn kind at rate " + sim::fmt(rate * 1000.0, 1) + "/1000 (n = " +
+  bench::banner(cli, "Ablation: churn kind at rate " + sim::fmt(rate * 1000.0, 1) + "/1000 (n = " +
                 std::to_string(n) + ", d = " + sim::fmt(d, 0) + ")");
 
   sim::Table table(
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                    std::to_string(sim_.arrivals()), std::to_string(sim_.departures())});
   }
   bench::emit(cli, table);
-  std::cout << "\n(replacement keeps the population stationary — the paper's setting;\n"
+  strat::bench::out(cli) << "\n(replacement keeps the population stationary — the paper's setting;\n"
                " removal-only shrinks the instance, arrival-only dilutes the degree.)\n";
   return 0;
 }

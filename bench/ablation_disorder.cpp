@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const double d = cli.get_double("d", 12.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
 
-  bench::banner("Ablation: disorder metric variants");
+  bench::banner(cli, "Ablation: disorder metric variants");
 
   // b = 1: paper metric and generalization agree exactly.
   {
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       const double general = core::disorder_bmatching(engine.current(), engine.stable(), ranking);
       max_gap = std::max(max_gap, std::abs(paper - general));
     }
-    std::cout << "b = 1: max |paper - generalized| along a trajectory: "
+    strat::bench::out(cli) << "b = 1: max |paper - generalized| along a trajectory: "
               << sim::fmt_sci(max_gap, 2) << " (identical by construction)\n\n";
   }
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
                               core::Strategy::kBestMate, rng);
   sim::Table table({"initiatives/peer", "generalized disorder (b=3)"});
   for (int step = 0; step <= 20; ++step) {
-    table.add_row({sim::fmt(engine.initiatives() / static_cast<double>(n), 1),
+    table.add_row({sim::fmt(static_cast<double>(engine.initiatives()) / static_cast<double>(n), 1),
                    sim::fmt(engine.disorder(), 4)});
     engine.run(0.5, 1);
   }

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 5));
   const double max_units = cli.get_double("maxunits", 2000.0);
 
-  bench::banner("Ablation: initiative strategy vs convergence speed (n = " + std::to_string(n) +
+  bench::banner(cli, "Ablation: initiative strategy vs convergence speed (n = " + std::to_string(n) +
                 ", d = " + sim::fmt(d, 0) + ", 1-matching)");
 
   sim::Table table({"strategy", "knowledge required", "mean units to stable", "min", "max",
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                    sim::fmt(active_fraction / static_cast<double>(seeds), 3)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(best-mate converges in < d units as the paper reports; random pays a\n"
+  strat::bench::out(cli) << "\n(best-mate converges in < d units as the paper reports; random pays a\n"
                " large constant for knowing nothing; decremental sits in between.)\n";
   return 0;
 }

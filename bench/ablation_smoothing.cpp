@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const auto peers = static_cast<std::size_t>(cli.get_int("peers", 120));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 14));
 
-  bench::banner("Ablation: choker rate-smoothing vs stratification quality");
+  bench::banner(cli, "Ablation: choker rate-smoothing vs stratification quality");
 
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
   const auto bw = model.representative_sample(peers);
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
                    std::to_string(report.reciprocated_pairs)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(alpha = 1.0 is the paper's raw 10-second window; moderate smoothing\n"
+  strat::bench::out(cli) << "\n(alpha = 1.0 is the paper's raw 10-second window; moderate smoothing\n"
                " stabilizes partner selection, very long windows slow adaptation)\n";
   return 0;
 }

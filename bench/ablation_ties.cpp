@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const auto b0 = static_cast<std::uint32_t>(cli.get_int("b0", 3));
   graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 16)));
 
-  bench::banner("Ablation: ties in the global ranking (n = " + std::to_string(n) + ", d = " +
+  bench::banner(cli, "Ablation: ties in the global ranking (n = " + std::to_string(n) + ", d = " +
                 sim::fmt(d, 0) + ", b0 = " + std::to_string(b0) + ")");
 
   // Random scores: quantization + id tie-breaking genuinely permutes
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const core::Matching m =
         core::stable_configuration(acc, ties.ranking, std::vector<std::uint32_t>(n, b0));
     std::size_t matched = 0;
-    for (core::PeerId p = 0; p < n; ++p) matched += m.degree(p) > 0 ? 1 : 0;
+    for (core::PeerId p = 0; p < n; ++p) matched += m.degree(p) > 0 ? std::size_t{1} : std::size_t{0};
     table.add_row({levels == n ? "strict (" + std::to_string(n) + ")" : std::to_string(levels),
                    sim::fmt(core::mean_abs_offset(m, ties.ranking) / static_cast<double>(n), 4),
                    sim::fmt(core::mean_max_offset(m, ties.ranking) / static_cast<double>(n), 4),
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                    std::to_string(matched)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(the tie-broken stable configuration is always weakly stable; offsets\n"
+  strat::bench::out(cli) << "\n(the tie-broken stable configuration is always weakly stable; offsets\n"
                " stay essentially unchanged down to a few dozen classes — the paper's\n"
                " \"our results hold if we allow ties\")\n";
   return 0;

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const double d = cli.get_double("d", 20.0);
   graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 15)));
 
-  bench::banner("Baseline: eDonkey-style bilateral exchange vs TFT matching (n = " +
+  bench::banner(cli, "Baseline: eDonkey-style bilateral exchange vs TFT matching (n = " +
                 std::to_string(n) + ", d = " + sim::fmt(d, 0) + ")");
 
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
@@ -71,17 +71,17 @@ int main(int argc, char** argv) {
 
   std::vector<double> ranks(n);
   for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<double>(i);
-  std::cout << "\nSpearman(rank, download): queue "
+  strat::bench::out(cli) << "\nSpearman(rank, download): queue "
             << sim::fmt(sim::spearman(ranks, queue_dl), 3) << ", credit "
             << sim::fmt(sim::spearman(ranks, credit_dl), 3)
             << " (rank 0 = fastest; stratification needs strong negative)\n";
-  std::cout << "free-rider advantage (bottom-decile D/U, queue / credit): "
+  strat::bench::out(cli) << "free-rider advantage (bottom-decile D/U, queue / credit): "
             << sim::fmt(
                    (queue_dl[n - decile / 2] / per_slot[n - decile / 2]) /
                        std::max(1e-9, credit_dl[n - decile / 2] / per_slot[n - decile / 2]),
                    1)
             << "x\n";
-  std::cout << "\n(the arrival-queue policy hands slow peers the same sources as fast\n"
+  strat::bench::out(cli) << "\n(the arrival-queue policy hands slow peers the same sources as fast\n"
                " ones — no contribution incentive; coupling the server side to the\n"
                " ranking reproduces the TFT stratification. This is why BitTorrent's\n"
                " single reciprocal preference list beats independent lists.)\n";

@@ -14,9 +14,15 @@ inline void emit(const sim::Cli& cli, const sim::Table& table) {
   std::cout << (cli.get_bool("csv") ? table.to_csv() : table.render());
 }
 
+/// Stream for banners and commentary: stdout normally, stderr under
+/// --csv so stdout stays machine-parseable (bench_all.sh redirects it).
+inline std::ostream& out(const sim::Cli& cli) {
+  return cli.get_bool("csv") ? std::cerr : std::cout;
+}
+
 /// Standard banner: what this binary reproduces.
-inline void banner(const std::string& what) {
-  std::cout << "== " << what << " ==\n";
+inline void banner(const sim::Cli& cli, const std::string& what) {
+  out(cli) << "== " << what << " ==\n";
 }
 
 }  // namespace strat::bench

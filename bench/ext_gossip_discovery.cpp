@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const double units = cli.get_double("units", 120.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
 
-  bench::banner("Extension: gossip-based rank discovery (n = " + std::to_string(peers) +
+  bench::banner(cli, "Extension: gossip-based rank discovery (n = " + std::to_string(peers) +
                 ", view " + std::to_string(view) + ")");
 
   sim::Table table({"initiatives/peer", "disorder (frozen views)", "disorder (gossip 4/unit)",
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(cli, table);
-  std::cout << "\n(a random 1-matching would sit at mean offset ~" << peers / 3
+  strat::bench::out(cli) << "\n(a random 1-matching would sit at mean offset ~" << peers / 3
             << "; gossip keeps sorting toward offset 1 — the complete-knowledge\n"
                " adjacent-rank pairing — while frozen views plateau at the static\n"
                " instance's stable state)\n";

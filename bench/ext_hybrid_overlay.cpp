@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const auto rank_slots = static_cast<std::uint32_t>(cli.get_int("rankslots", 3));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
 
-  bench::banner("Extension: hybrid rank+latency overlays (n = " + std::to_string(n) +
+  bench::banner(cli, "Extension: hybrid rank+latency overlays (n = " + std::to_string(n) +
                 ", d = " + sim::fmt(d, 0) + ", " + std::to_string(rank_slots) +
                 " rank slots)");
 
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
                    pairs == 0 ? "-" : sim::fmt(dist / static_cast<double>(pairs), 4)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(the rank matching — and with it the TFT incentive/stratification\n"
+  strat::bench::out(cli) << "\n(the rank matching — and with it the TFT incentive/stratification\n"
                " structure — is untouched; the symmetric slots only add shortcuts.\n"
                " Mean ring distance of a random pair is 0.25.)\n";
   return 0;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const double units = cli.get_double("units", 40.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  strat::bench::banner(
+  strat::bench::banner(cli, 
       "Figure 1: convergence towards the stable state from the empty configuration");
 
   struct Case {
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   strat::bench::emit(cli, table);
 
   // Paper check: convergence in fewer than d base units.
-  std::cout << "\nconvergence (disorder == 0) reached by:\n";
+  strat::bench::out(cli) << "\nconvergence (disorder == 0) reached by:\n";
   for (std::size_t c = 0; c < cases.size(); ++c) {
     double reached = -1.0;
     for (const auto& pt : runs[c]) {
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    std::cout << "  n=" << cases[c].n << ", d=" << cases[c].d << ": "
+    strat::bench::out(cli) << "  n=" << cases[c].n << ", d=" << cases[c].d << ": "
               << (reached < 0 ? "not reached" : strat::sim::fmt(reached, 1) + " units")
               << " (paper: < d units)\n";
   }

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
   const double units = cli.get_double("units", 10.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
 
-  strat::bench::banner("Figure 2: recovery after removing one peer from the stable state");
-  std::cout << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
+  strat::bench::banner(cli, "Figure 2: recovery after removing one peer from the stable state");
+  strat::bench::out(cli) << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
 
   graph::Rng rng(seed);
   const core::GlobalRanking ranking = core::GlobalRanking::identity(n);
@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
   }
   strat::bench::emit(cli, table);
 
-  std::cout << "\npeak disorder per removal (paper: good peers cause more disorder):\n";
+  strat::bench::out(cli) << "\npeak disorder per removal (paper: good peers cause more disorder):\n";
   for (std::size_t v = 0; v < victims.size(); ++v) {
     double peak = 0.0;
     for (const auto& pt : runs[v]) peak = std::max(peak, pt.disorder);
-    std::cout << "  peer " << victims[v] + 1 << ": " << strat::sim::fmt(peak, 6) << "\n";
+    strat::bench::out(cli) << "  peer " << victims[v] + 1 << ": " << strat::sim::fmt(peak, 6) << "\n";
   }
   return 0;
 }

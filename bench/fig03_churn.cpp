@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   const double units = cli.get_double("units", 20.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
 
-  bench::banner("Figure 3: disorder vs time under churn");
-  std::cout << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
+  bench::banner(cli, "Figure 3: disorder vs time under churn");
+  strat::bench::out(cli) << "(" << n << " users, 1-matching, " << d << " neighbors per peer)\n";
 
   const std::vector<double> rates{0.03, 0.01, 0.003, 0.0005, 0.0};
   std::vector<std::vector<core::TrajectoryPoint>> runs;
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   }
   bench::emit(cli, table);
 
-  std::cout << "\nmean plateau disorder (second half; paper: roughly proportional to rate):\n";
+  strat::bench::out(cli) << "\nmean plateau disorder (second half; paper: roughly proportional to rate):\n";
   for (std::size_t r = 0; r < rates.size(); ++r) {
     double sum = 0.0;
     std::size_t count = 0;
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       sum += runs[r][i].disorder;
       ++count;
     }
-    std::cout << "  rate " << sim::fmt(rates[r] * 1000.0, 1)
+    strat::bench::out(cli) << "  rate " << sim::fmt(rates[r] * 1000.0, 1)
               << "/1000: " << sim::fmt(sum / static_cast<double>(count), 4) << "\n";
   }
   return 0;

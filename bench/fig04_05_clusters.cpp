@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(cli.get_int("n", 9));
   const auto b0 = static_cast<std::uint32_t>(cli.get_int("b0", 2));
 
-  bench::banner("Figure 4: constant b0-matching on a complete graph -> K_{b0+1} clusters");
+  bench::banner(cli, "Figure 4: constant b0-matching on a complete graph -> K_{b0+1} clusters");
   const core::Matching fig4 = core::stable_configuration_complete(std::vector<std::uint32_t>(n, b0));
   const auto comps4 = graph::connected_components(core::collaboration_graph(fig4));
   sim::Table t4({"peer", "mates", "cluster"});
@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
     t4.add_row({std::to_string(p + 1), mates, std::to_string(comps4.label[p] + 1)});
   }
   bench::emit(cli, t4);
-  std::cout << "clusters: " << comps4.count() << " (size " << b0 + 1 << " each"
+  strat::bench::out(cli) << "clusters: " << comps4.count() << " (size " << b0 + 1 << " each"
             << (n % (b0 + 1) != 0 ? ", remainder truncated" : "") << ")\n\n";
 
-  bench::banner("Figure 5: one extra connection for peer 1 chains the clusters");
+  bench::banner(cli, "Figure 5: one extra connection for peer 1 chains the clusters");
   std::vector<std::uint32_t> caps(n, b0);
   caps[0] = b0 + 1;
   const core::Matching fig5 = core::stable_configuration_complete(caps);
@@ -43,10 +43,10 @@ int main(int argc, char** argv) {
     t5.add_row({std::to_string(p + 1), mates, std::to_string(comps5.label[p] + 1)});
   }
   bench::emit(cli, t5);
-  std::cout << "connected: " << (graph::is_connected(g5) ? "yes" : "no") << " ("
+  strat::bench::out(cli) << "connected: " << (graph::is_connected(g5) ? "yes" : "no") << " ("
             << comps5.count() << " component(s))\n\n";
 
-  bench::banner("S4.1 note: connectivity lower bound behind BitTorrent's >= 3 TFT slots");
+  bench::banner(cli, "S4.1 note: connectivity lower bound behind BitTorrent's >= 3 TFT slots");
   sim::Table t6({"b0", "components (n=12)", "connected"});
   for (std::uint32_t b = 1; b <= 4; ++b) {
     const core::Matching m = core::stable_configuration_complete(std::vector<std::uint32_t>(12, b));
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
                 graph::is_connected(g) ? "yes" : "no"});
   }
   bench::emit(cli, t6);
-  std::cout << "(1-regular graphs are disconnected; the cycle is the unique connected\n"
+  strat::bench::out(cli) << "(1-regular graphs are disconnected; the cycle is the unique connected\n"
                " 2-regular graph; constant b-matching clusters are never connected for\n"
                " n > b0+1 — hence the default of 4 slots = 3 TFT + 1 optimistic.)\n";
   return 0;

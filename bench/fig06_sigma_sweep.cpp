@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   const double bmean = cli.get_double("bmean", 6.0);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 2));
 
-  bench::banner("Figure 6: sigma sweep for N(" + sim::fmt(bmean, 0) + ", sigma)-matching");
-  std::cout << "(n = " << n << ", complete acceptance graph)\n";
+  bench::banner(cli, "Figure 6: sigma sweep for N(" + sim::fmt(bmean, 0) + ", sigma)-matching");
+  strat::bench::out(cli) << "(n = " << n << ", complete acceptance graph)\n";
 
   sim::Table table({"sigma", "mean cluster size", "MMO"});
   std::vector<double> sigmas;
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                    sim::fmt(mmo_sum / static_cast<double>(seeds), 2)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(paper: cluster size explodes once sigma ~ 0.15 produces heterogeneous\n"
+  strat::bench::out(cli) << "\n(paper: cluster size explodes once sigma ~ 0.15 produces heterogeneous\n"
                " samples, then stays almost constant; MMO decreases across the transition;\n"
                " sigma = 0 is the constant 6-matching: cluster 7, MMO "
             << sim::fmt(core::mmo_closed_form(6), 2) << ")\n";

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   using namespace strat;
   const sim::Cli cli(argc, argv, {"csv"});
 
-  bench::banner("Figure 7: exact vs independent-approximation probabilities, n = 3");
+  bench::banner(cli, "Figure 7: exact vs independent-approximation probabilities, n = 3");
   sim::Table table({"p", "D(1,2) exact", "D(1,3) exact", "D(2,3) exact", "D(2,3) approx",
                     "error", "p^3(1-p)"});
   for (double p = 0.1; p <= 0.901; p += 0.1) {
@@ -25,11 +25,11 @@ int main(int argc, char** argv) {
                    sim::fmt(p * p * p * (1.0 - p), 6)});
   }
   bench::emit(cli, table);
-  std::cout << "\n(exact: D(1,2) = p, D(1,3) = p(1-p), D(2,3) = p(1-p)^2; Algorithm 2's\n"
+  strat::bench::out(cli) << "\n(exact: D(1,2) = p, D(1,3) = p(1-p), D(2,3) = p(1-p)^2; Algorithm 2's\n"
                " D(2,3) = p(1-p)(1-p(1-p)) = exact + p^3(1-p) — negligible at small p.)\n";
 
   // Bonus: the error vanishes as p -> 0 also for larger tiny systems.
-  bench::banner("max |exact - approx| over all pairs, n = 5");
+  bench::banner(cli, "max |exact - approx| over all pairs, n = 5");
   sim::Table t2({"p", "max abs error"});
   for (const double p : {0.02, 0.05, 0.1, 0.2, 0.4}) {
     const analysis::ExactSmallModel exact(5, p);

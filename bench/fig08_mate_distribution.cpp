@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const double p = cli.get_double("p", 0.005);
   const auto bins = static_cast<std::size_t>(cli.get_int("bins", 25));
 
-  bench::banner("Figure 8: mate distributions for peers 200, 2500, 4800 (n = " +
+  bench::banner(cli, "Figure 8: mate distributions for peers 200, 2500, 4800 (n = " +
                 std::to_string(n) + ", p = " + sim::fmt(p * 100.0, 2) + "%)");
 
   const std::vector<core::PeerId> peers{
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   }
   bench::emit(cli, table);
 
-  std::cout << "\nper-peer summary (paper: geometric-ish top, shifted symmetric bulk,\n"
+  strat::bench::out(cli) << "\nper-peer summary (paper: geometric-ish top, shifted symmetric bulk,\n"
                "truncated bottom with unmatched probability; worst peer ~ 1/2):\n";
   for (core::PeerId peer : peers) {
     const auto& dist = result.rows.at(peer);
@@ -65,11 +65,11 @@ int main(int argc, char** argv) {
         mode = j + 1;
       }
     }
-    std::cout << "  peer " << peer + 1 << ": P(matched) = " << sim::fmt(mass, 4)
+    strat::bench::out(cli) << "  peer " << peer + 1 << ": P(matched) = " << sim::fmt(mass, 4)
               << ", mean mate rank = " << sim::fmt(mass > 0 ? mean / mass : 0.0, 1)
               << ", mode = " << mode << ", peak = " << sim::fmt_sci(peak, 3) << "\n";
   }
-  std::cout << "  worst peer " << n << ": P(matched) = "
+  strat::bench::out(cli) << "  worst peer " << n << ": P(matched) = "
             << sim::fmt(result.mass[n - 1], 4) << " (paper: 1/2 in the limit)\n";
   return 0;
 }

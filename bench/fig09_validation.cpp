@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
   const auto peer = static_cast<core::PeerId>(n * 3000 / 5000 - 1);
 
-  bench::banner("Figure 9: Algorithm 3 vs Monte-Carlo, peer " + std::to_string(peer + 1) +
+  bench::banner(cli, "Figure 9: Algorithm 3 vs Monte-Carlo, peer " + std::to_string(peer + 1) +
                 " (n = " + std::to_string(n) + ", p = " + sim::fmt(p * 100.0, 1) +
                 "%, b0 = 2, " + std::to_string(realizations) + " realizations)");
 
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   }
   bench::emit(cli, table);
 
-  std::cout << "\nmatch masses: model 1st " << sim::fmt(model.mass(peer, 0), 4) << ", MC 1st "
+  strat::bench::out(cli) << "\nmatch masses: model 1st " << sim::fmt(model.mass(peer, 0), 4) << ", MC 1st "
             << sim::fmt(mc.match_mass(0, 0), 4) << "; model 2nd "
             << sim::fmt(model.mass(peer, 1), 4) << ", MC 2nd "
             << sim::fmt(mc.match_mass(0, 1), 4) << "\n";
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
       }
       tv += std::abs(a - b);
     }
-    std::cout << "binned total-variation distance, choice " << c + 1 << ": "
+    strat::bench::out(cli) << "binned total-variation distance, choice " << c + 1 << ": "
               << sim::fmt(tv / 2.0, 4) << "\n";
   }
   return 0;

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   using namespace strat;
   const sim::Cli cli(argc, argv, {"csv"});
 
-  bench::banner("Figure 10: estimation of upstream bandwidth capacities (Saroiu et al.)");
+  bench::banner(cli, "Figure 10: estimation of upstream bandwidth capacities (Saroiu et al.)");
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
 
   sim::Table table({"upstream (kbps)", "percentage of hosts <= x"});
@@ -25,15 +25,15 @@ int main(int argc, char** argv) {
     ys.push_back(c);
   }
   bench::emit(cli, table);
-  std::cout << "\nCDF (x = log10 kbps):\n" << sim::ascii_series(xs, ys, 50, 2, 1);
+  strat::bench::out(cli) << "\nCDF (x = log10 kbps):\n" << sim::ascii_series(xs, ys, 50, 2, 1);
 
-  std::cout << "\nmixture components:\n";
+  strat::bench::out(cli) << "\nmixture components:\n";
   for (const auto& c : model.components()) {
-    std::cout << "  " << c.label << ": weight " << sim::fmt(c.weight, 2) << ", median "
+    strat::bench::out(cli) << "  " << c.label << ": weight " << sim::fmt(c.weight, 2) << ", median "
               << sim::fmt(c.median_kbps, 0) << " kbps, sigma " << sim::fmt(c.log10_sigma, 2)
               << " decades\n";
   }
-  std::cout << "\nwaypoints: P(<=100 kbps) = " << sim::fmt(model.cdf(100.0), 3)
+  strat::bench::out(cli) << "\nwaypoints: P(<=100 kbps) = " << sim::fmt(model.cdf(100.0), 3)
             << ", P(<=1 Mbps) = " << sim::fmt(model.cdf(1000.0), 3)
             << ", P(<=10 Mbps) = " << sim::fmt(model.cdf(10000.0), 3) << "\n";
   return 0;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto tft = static_cast<std::size_t>(cli.get_int("tft", 3));
   const auto total = static_cast<std::size_t>(cli.get_int("total", 4));
 
-  bench::banner("Figure 11: expected D/U ratio vs upload bandwidth per slot (b0 = " +
+  bench::banner(cli, "Figure 11: expected D/U ratio vs upload bandwidth per slot (b0 = " +
                 std::to_string(tft) + ", d = " + sim::fmt(d, 0) + ", n = " +
                 std::to_string(n) + ")");
 
@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
     ys.push_back(eff);
   }
   bench::emit(cli, table);
-  std::cout << "\nefficiency vs log10(bandwidth/slot):\n" << sim::ascii_series(xs, ys, 50, 2, 3);
+  strat::bench::out(cli) << "\nefficiency vs log10(bandwidth/slot):\n" << sim::ascii_series(xs, ys, 50, 2, 3);
 
-  std::cout << "\npaper observations reproduced:\n"
+  strat::bench::out(cli) << "\npaper observations reproduced:\n"
             << "  best peer efficiency:  " << sim::fmt(curve.front().efficiency, 3)
             << "  (paper: best peers suffer, < 1)\n";
   double tail = 0.0;
   for (std::size_t i = n - n / 10; i < n; ++i) tail += curve[i].efficiency;
-  std::cout << "  bottom-decile mean:    " << sim::fmt(tail / static_cast<double>(n / 10), 3)
+  strat::bench::out(cli) << "  bottom-decile mean:    " << sim::fmt(tail / static_cast<double>(n / 10), 3)
             << "  (paper: lowest peers have high efficiency)\n";
   double peak = 0.0;
   std::size_t peak_rank = 0;
@@ -72,10 +72,10 @@ int main(int argc, char** argv) {
       peak_rank = pt.rank;
     }
   }
-  std::cout << "  max efficiency:        " << sim::fmt(peak, 3) << " at "
+  strat::bench::out(cli) << "  max efficiency:        " << sim::fmt(peak, 3) << " at "
             << sim::fmt(curve[peak_rank].per_slot_kbps, 1)
             << " kbps/slot (paper: peaks just above density peaks)\n";
-  std::cout << "  unmatched probability of the worst peer: "
+  strat::bench::out(cli) << "  unmatched probability of the worst peer: "
             << sim::fmt(1.0 - curve.back().match_probability, 3)
             << " (paper: Figure 8(c) cut distribution)\n";
   return 0;

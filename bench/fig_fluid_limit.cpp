@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   const sim::Cli cli(argc, argv, {"d", "csv"});
   const double d = cli.get_double("d", 10.0);
 
-  bench::banner("Conjecture 1: fluid limit of the best peer's mate distribution (d = " +
+  bench::banner(cli, "Conjecture 1: fluid limit of the best peer's mate distribution (d = " +
                 sim::fmt(d, 0) + ")");
 
   const std::vector<std::size_t> ns{500, 1000, 2000, 4000, 8000};
@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
   }
   bench::emit(cli, table);
 
-  std::cout << "\nsup-norm error vs the analytic density (must shrink with n):\n";
+  strat::bench::out(cli) << "\nsup-norm error vs the analytic density (must shrink with n):\n";
   for (std::size_t k = 0; k < ns.size(); ++k) {
-    std::cout << "  n = " << ns[k] << ": "
+    strat::bench::out(cli) << "  n = " << ns[k] << ": "
               << sim::fmt(analysis::fluid_limit_sup_error(rows[k], d), 4) << "\n";
   }
   return 0;

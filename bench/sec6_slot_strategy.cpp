@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   opt.max_tft_slots = static_cast<std::size_t>(cli.get_int("maxslots", 8));
   graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 5)));
 
-  bench::banner("S6: slot-count strategy for a rational peer (upload " +
+  bench::banner(cli, "S6: slot-count strategy for a rational peer (upload " +
                 sim::fmt(opt.deviator_upload_kbps, 0) + " kbps, others keep 3 TFT + 1)");
 
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
@@ -33,20 +33,20 @@ int main(int argc, char** argv) {
   }
   bench::emit(cli, table);
 
-  std::cout << "\nNash pressure: efficiency(1 slot) / efficiency(" << sweep.back().tft_slots
+  strat::bench::out(cli) << "\nNash pressure: efficiency(1 slot) / efficiency(" << sweep.back().tft_slots
             << " slots) = " << sim::fmt(sweep.front().efficiency / sweep.back().efficiency, 2)
             << "\n";
 
   // The counterweight: a 1-matching collaboration graph cannot be
   // connected; the obedient default must keep b0 >= 3.
-  std::cout << "\nconnectivity counterweight (complete graph, n = 12):\n";
+  strat::bench::out(cli) << "\nconnectivity counterweight (complete graph, n = 12):\n";
   for (std::uint32_t b = 1; b <= 4; ++b) {
     const core::Matching m =
         core::stable_configuration_complete(std::vector<std::uint32_t>(12, b));
-    std::cout << "  b0 = " << b << ": "
+    strat::bench::out(cli) << "  b0 = " << b << ": "
               << core::cluster_stats(m).components << " components\n";
   }
-  std::cout << "(hence the default of 4 = 3 TFT + 1 optimistic: enough connectivity,\n"
+  strat::bench::out(cli) << "(hence the default of 4 = 3 TFT + 1 optimistic: enough connectivity,\n"
                " while staying as far as practical from the 1-slot Nash drift)\n";
   return 0;
 }

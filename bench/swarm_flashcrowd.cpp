@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 60));
   graph::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 13)));
 
-  bench::banner("Flash crowd: rarest-first equalizes block repartition (" +
+  bench::banner(cli, "Flash crowd: rarest-first equalizes block repartition (" +
                 std::to_string(peers) + " leechers)");
 
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     if (r < rounds) swarm.run(stride);
   }
   bench::emit(cli, table);
-  std::cout << "\n(in the flash-crowd phase availability is wildly uneven — the seed is\n"
+  strat::bench::out(cli) << "\n(in the flash-crowd phase availability is wildly uneven — the seed is\n"
                " the only source; rarest-first pushes the coefficient of variation\n"
                " down, establishing the post-flash-crowd regime the §6 model assumes)\n";
   return 0;

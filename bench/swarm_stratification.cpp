@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
 
-  bench::banner("Swarm stratification vs matching-model prediction (" +
+  bench::banner(cli, "Swarm stratification vs matching-model prediction (" +
                 std::to_string(peers) + " leechers)");
 
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
@@ -63,14 +63,14 @@ int main(int argc, char** argv) {
   bench::emit(cli, table);
 
   // Per-decile mean partner rank in the swarm: the stratification bands.
-  std::cout << "\nmean leech-phase download rate by bandwidth decile (kbps):\n";
+  strat::bench::out(cli) << "\nmean leech-phase download rate by bandwidth decile (kbps):\n";
   const std::size_t decile = peers / 10;
   for (std::size_t d10 = 0; d10 < 10; ++d10) {
     double sum = 0.0;
     for (std::size_t i = d10 * decile; i < (d10 + 1) * decile; ++i) {
       sum += swarm.leech_download_kbps(static_cast<core::PeerId>(i));
     }
-    std::cout << "  decile " << d10 + 1 << " (ranks " << d10 * decile + 1 << ".."
+    strat::bench::out(cli) << "  decile " << d10 + 1 << " (ranks " << d10 * decile + 1 << ".."
               << (d10 + 1) * decile << "): " << sim::fmt(sum / static_cast<double>(decile), 0)
               << "\n";
   }

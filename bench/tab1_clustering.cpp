@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 3));
   const double scale = cli.get_double("scale", 1.0);
 
-  bench::banner("Table 1: clustering and stratification in a complete knowledge graph");
+  bench::banner(cli, "Table 1: clustering and stratification in a complete knowledge graph");
   sim::Table table({"b0 / b-mean", "const: cluster size", "const: MMO (closed form)",
                     "const: MMO (measured)", "normal s=" + sim::fmt(sigma, 1) + ": cluster size",
                     "normal: peer-avg cluster", "normal: MMO"});
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
                    sim::fmt(mmo_sum / static_cast<double>(seeds), 2)});
   }
   bench::emit(cli, table);
-  std::cout << "\npaper reference rows:\n"
+  strat::bench::out(cli) << "\npaper reference rows:\n"
                "  const cluster size: 3 4 5 6 7 8;  const MMO: 1.67 2.5 3.2 4 4.71 5.5\n"
                "  normal cluster size: 6 20 78 350 1800 11000;  normal MMO: 1.33 2.10 "
                "2.52 3.21 3.65 4.31\n";

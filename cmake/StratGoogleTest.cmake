@@ -1,0 +1,28 @@
+# Resolves GoogleTest: prefer the system package (works offline, e.g. in
+# the hermetic CI container), fall back to FetchContent when the package
+# is absent or STRAT_FORCE_FETCH_GTEST is set. Guarantees the
+# GTest::gtest_main target exists afterwards.
+set(STRAT_GTEST_FOUND OFF)
+
+if(NOT STRAT_FORCE_FETCH_GTEST)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    set(STRAT_GTEST_FOUND ON)
+    message(STATUS "strat: using system GoogleTest")
+  endif()
+endif()
+
+if(NOT STRAT_GTEST_FOUND)
+  message(STATUS "strat: fetching GoogleTest via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

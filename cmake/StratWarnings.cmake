@@ -1,0 +1,12 @@
+# Defines the strat_warnings INTERFACE target carrying the
+# warnings-as-errors baseline shared by the library, tests, benches, and
+# examples. Controlled by STRAT_WERROR.
+add_library(strat_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(strat_warnings INTERFACE /W4 $<$<BOOL:${STRAT_WERROR}>:/WX>)
+else()
+  target_compile_options(strat_warnings INTERFACE
+    -Wall -Wextra -Wpedantic -Wshadow -Wconversion -Wsign-conversion
+    $<$<BOOL:${STRAT_WERROR}>:-Werror>)
+endif()

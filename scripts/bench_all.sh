@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs every figure/table reproduction bench and saves its CSV output.
+#
+# Usage: scripts/bench_all.sh [build-dir] [out-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+for bin in "${build_dir}"/bench/*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  case "${name}" in
+    micro_*) continue ;;  # Google Benchmark harnesses: run them directly
+    CMakeFiles|Makefile|*.cmake) continue ;;
+  esac
+  echo "== ${name}"
+  "${bin}" --csv > "${out_dir}/${name}.csv"
+done
+
+echo "wrote $(ls "${out_dir}" | wc -l) result files to ${out_dir}/"

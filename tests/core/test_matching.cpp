@@ -121,6 +121,18 @@ TEST(Matching, ValidateAcceptsConsistentState) {
   EXPECT_NO_THROW(m.validate(ranking));
 }
 
+TEST(Matching, AddPeerStartsEmptyAndRespectsCapacity) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(3, 2);
+  const PeerId id = m.add_peer(1);
+  EXPECT_EQ(m.degree(id), 0u);
+  EXPECT_FALSE(m.is_full(id));
+  m.connect(id, 0, ranking);
+  EXPECT_TRUE(m.is_full(id));
+  EXPECT_THROW(m.connect(id, 1, ranking), std::invalid_argument);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
 TEST(Matching, MateOfOneMatchingPeer) {
   const GlobalRanking ranking = GlobalRanking::identity(3);
   Matching m(3, 1);

@@ -1,0 +1,161 @@
+// Adversarial Matching invariant tests: fill-to-capacity churn, invalid
+// operations that must not corrupt state, and a randomized
+// connect/disconnect fuzz checked against a set-of-edges oracle. The
+// happy paths live in test_matching.cpp; everything here leans on
+// Matching::validate() to prove internal consistency after each abuse.
+#include "core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::core {
+namespace {
+
+TEST(MatchingAdversarial, FillToCapacityThenDrainEverySlot) {
+  constexpr std::size_t kN = 8;
+  constexpr std::uint32_t kB0 = 3;
+  const GlobalRanking ranking = GlobalRanking::identity(kN);
+  Matching m(kN, kB0);
+
+  // Greedily connect every pair until all endpoints are saturated.
+  std::vector<std::pair<PeerId, PeerId>> edges;
+  for (PeerId p = 0; p < kN; ++p) {
+    for (PeerId q = static_cast<PeerId>(p + 1); q < kN; ++q) {
+      if (m.is_full(p) || m.is_full(q)) continue;
+      m.connect(p, q, ranking);
+      edges.emplace_back(p, q);
+    }
+  }
+  EXPECT_NO_THROW(m.validate(ranking));
+  EXPECT_EQ(m.connection_count(), edges.size());
+  // Theorem 1 bound: |edges| <= B/2.
+  EXPECT_LE(2 * m.connection_count(), m.total_capacity());
+  for (PeerId p = 0; p < kN; ++p) EXPECT_LE(m.degree(p), kB0);
+
+  // Any further connect on a saturated endpoint must throw and must not
+  // disturb the configuration.
+  const std::size_t before = m.connection_count();
+  for (PeerId p = 0; p < kN; ++p) {
+    if (!m.is_full(p)) continue;
+    for (PeerId q = 0; q < kN; ++q) {
+      if (q == p || m.are_matched(p, q)) continue;
+      EXPECT_THROW(m.connect(p, q, ranking), std::invalid_argument);
+    }
+  }
+  EXPECT_EQ(m.connection_count(), before);
+  EXPECT_NO_THROW(m.validate(ranking));
+
+  // Drain in reverse order; the matching must end exactly empty.
+  std::reverse(edges.begin(), edges.end());
+  for (const auto& [p, q] : edges) m.disconnect(q, p);  // reversed endpoints too
+  EXPECT_EQ(m.connection_count(), 0u);
+  for (PeerId p = 0; p < kN; ++p) EXPECT_EQ(m.degree(p), 0u);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(MatchingAdversarial, SelfConnectRejectedWithoutStateChange) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 2);
+  m.connect(0, 1, ranking);
+  for (PeerId p = 0; p < 4; ++p) {
+    EXPECT_THROW(m.connect(p, p, ranking), std::invalid_argument);
+  }
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_TRUE(m.are_matched(0, 1));
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(MatchingAdversarial, DoubleDisconnectThrowsAndPreservesState) {
+  const GlobalRanking ranking = GlobalRanking::identity(4);
+  Matching m(4, 2);
+  m.connect(0, 1, ranking);
+  m.connect(0, 2, ranking);
+  m.disconnect(0, 1);
+  EXPECT_THROW(m.disconnect(0, 1), std::invalid_argument);
+  EXPECT_THROW(m.disconnect(1, 0), std::invalid_argument);  // reversed too
+  EXPECT_TRUE(m.are_matched(0, 2));
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(MatchingAdversarial, ReconnectAfterDisconnectIsClean) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(3, 1);
+  for (int round = 0; round < 50; ++round) {
+    m.connect(0, 1, ranking);
+    EXPECT_TRUE(m.is_full(0));
+    m.disconnect(0, 1);
+    EXPECT_EQ(m.degree(0), 0u);
+  }
+  EXPECT_EQ(m.connection_count(), 0u);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(MatchingAdversarial, ClearPeerOnIsolatedPeerIsANoOp) {
+  const GlobalRanking ranking = GlobalRanking::identity(3);
+  Matching m(3, 2);
+  m.connect(1, 2, ranking);
+  m.clear_peer(0);
+  m.clear_peer(0);  // twice: still fine
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+TEST(MatchingAdversarial, RandomizedChurnAgainstEdgeSetOracle) {
+  constexpr std::size_t kN = 24;
+  constexpr std::uint32_t kB0 = 4;
+  constexpr int kSteps = 5000;
+  const GlobalRanking ranking = GlobalRanking::identity(kN);
+  Matching m(kN, kB0);
+  graph::Rng rng(2024);
+
+  std::set<std::pair<PeerId, PeerId>> oracle;  // normalized (min, max) pairs
+  auto key = [](PeerId p, PeerId q) {
+    return std::make_pair(std::min(p, q), std::max(p, q));
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    const auto p = static_cast<PeerId>(rng.below(kN));
+    const auto q = static_cast<PeerId>(rng.below(kN));
+    if (rng.bernoulli(0.6)) {
+      const bool legal =
+          p != q && !m.are_matched(p, q) && !m.is_full(p) && !m.is_full(q);
+      if (legal) {
+        m.connect(p, q, ranking);
+        oracle.insert(key(p, q));
+      } else {
+        EXPECT_THROW(m.connect(p, q, ranking), std::invalid_argument);
+      }
+    } else {
+      if (p != q && m.are_matched(p, q)) {
+        m.disconnect(p, q);
+        oracle.erase(key(p, q));
+      } else {
+        EXPECT_THROW(m.disconnect(p, q), std::invalid_argument);
+      }
+    }
+  }
+
+  EXPECT_EQ(m.connection_count(), oracle.size());
+  for (PeerId p = 0; p < kN; ++p) {
+    std::size_t expected = 0;
+    for (const auto& e : oracle) expected += (e.first == p || e.second == p) ? 1 : 0;
+    EXPECT_EQ(m.degree(p), expected) << "peer " << p;
+    for (PeerId q = 0; q < kN; ++q) {
+      if (p == q) continue;
+      EXPECT_EQ(m.are_matched(p, q), oracle.count(key(p, q)) == 1);
+    }
+  }
+  EXPECT_NO_THROW(m.validate(ranking));
+}
+
+}  // namespace
+}  // namespace strat::core

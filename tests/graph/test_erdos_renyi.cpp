@@ -123,5 +123,19 @@ TEST(ConfigurationModel, RejectsBTooLarge) {
   EXPECT_THROW((void)configuration_model(4, 4, rng), std::invalid_argument);
 }
 
+TEST(ConfigurationModel, SameSeedSameGraph) {
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const Graph ga = configuration_model(150, 3, rng_a);
+  const Graph gb = configuration_model(150, 3, rng_b);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (Vertex u = 0; u < ga.order(); ++u) {
+    const auto na = ga.neighbors(u);
+    const auto nb = gb.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << u;
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
 }  // namespace
 }  // namespace strat::graph

@@ -159,6 +159,28 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_LE(same, 1);
 }
 
+TEST(Rng, DistributionStreamsDeterministicForSameSeed) {
+  // Same-seed determinism must hold through every derived distribution,
+  // not just the raw stream — mixed consumption included.
+  Rng a(321);
+  Rng b(321);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.below(1000), b.below(1000));
+    EXPECT_EQ(a.normal(), b.normal());
+    EXPECT_EQ(a.bernoulli(0.5), b.bernoulli(0.5));
+    EXPECT_EQ(a.skip_geometric(0.1), b.skip_geometric(0.1));
+  }
+}
+
+TEST(Rng, SplitIsDeterministicForSameSeed) {
+  Rng a(55);
+  Rng b(55);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(child_a(), child_b());
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   SUCCEED();

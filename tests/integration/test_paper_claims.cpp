@@ -57,7 +57,7 @@ TEST(PaperClaims, S3_RemovingGoodPeerCausesMoreDisorderThanBadPeer) {
   double disorder_bad = 0.0;
   const int trials = 8;
   for (int t = 0; t < trials; ++t) {
-    graph::Rng rng(100 + t);
+    graph::Rng rng(static_cast<std::uint64_t>(100 + t));
     const GlobalRanking ranking = GlobalRanking::identity(n);
     const graph::Graph g = graph::erdos_renyi_gnd(n, d, rng);
     const core::ExplicitAcceptance acc(g, ranking);
