@@ -1,16 +1,24 @@
 // Microbenchmarks: swarm round throughput and its building blocks.
+//
+// BM_SwarmRound times the CSR data plane at 10^2..10^4 peers and
+// BM_SwarmRoundHuge at 10^5 (fixed iteration count: one round there is
+// itself a macro-workload). BM_ReferenceSwarmRound times the retained
+// map-based plane on the same configuration so the flat layout's
+// speedup stays a measured number — scripts/bench_all.sh snapshots the
+// whole file into BENCH_swarm.json.
 #include <benchmark/benchmark.h>
 
 #include "bittorrent/bandwidth.hpp"
 #include "bittorrent/piece_picker.hpp"
+#include "bittorrent/reference_swarm.hpp"
+#include "bittorrent/scenario.hpp"
 #include "bittorrent/swarm.hpp"
 
 namespace {
 
 using namespace strat;
 
-void BM_SwarmRound(benchmark::State& state) {
-  const auto peers = static_cast<std::size_t>(state.range(0));
+bt::SwarmConfig round_config(std::size_t peers) {
   bt::SwarmConfig cfg;
   cfg.num_peers = peers;
   cfg.seeds = 1;
@@ -18,9 +26,14 @@ void BM_SwarmRound(benchmark::State& state) {
   cfg.piece_kb = 1024.0;  // long-lived so rounds stay comparable
   cfg.neighbor_degree = 30.0;
   cfg.initial_completion = 0.5;
+  return cfg;
+}
+
+void BM_SwarmRound(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
   const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
   graph::Rng rng(1);
-  bt::Swarm swarm(cfg, model.representative_sample(peers), rng);
+  bt::Swarm swarm(round_config(peers), model.representative_sample(peers), rng);
   for (auto _ : state) {
     swarm.run_round();
     benchmark::DoNotOptimize(swarm.rounds_elapsed());
@@ -28,7 +41,66 @@ void BM_SwarmRound(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(peers));
 }
-BENCHMARK(BM_SwarmRound)->Arg(100)->Arg(400);
+BENCHMARK(BM_SwarmRound)->Arg(100)->Arg(400)->Arg(5000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// 10^5 peers: ~3M edge slots. Fixed iterations keep the harness from
+// rescaling this into minutes of wall clock.
+void BM_SwarmRoundHuge(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::Swarm swarm(round_config(peers), model.representative_sample(peers), rng);
+  for (auto _ : state) {
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_SwarmRoundHuge)->Arg(100000)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// The pre-rewrite unordered_map data plane, same workload: the
+// BM_SwarmRound/5000 vs BM_ReferenceSwarmRound/5000 ratio is the
+// speedup the CSR layout buys.
+void BM_ReferenceSwarmRound(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::ReferenceSwarm swarm(round_config(peers), model.representative_sample(peers), rng);
+  for (auto _ : state) {
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_ReferenceSwarmRound)->Arg(400)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+// Replication sweep throughput through the scenario engine; threads is
+// the second argument (1 = serial baseline).
+void BM_ScenarioReplications(benchmark::State& state) {
+  const auto replications = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  bt::SwarmScenario scenario;
+  scenario.config = round_config(200);
+  scenario.config.num_pieces = 256;
+  scenario.config.piece_kb = 256.0;
+  scenario.upload_kbps = bt::BandwidthModel::saroiu2002().representative_sample(200);
+  scenario.warmup_rounds = 5;
+  scenario.measure_rounds = 10;
+  std::vector<std::uint64_t> seeds(replications);
+  for (std::size_t i = 0; i < replications; ++i) seeds[i] = 1000 + i;
+  for (auto _ : state) {
+    const auto results = bt::run_replications(scenario, seeds, threads);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replications));
+}
+BENCHMARK(BM_ScenarioReplications)
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RarestFirstPick(benchmark::State& state) {
   const auto pieces = static_cast<std::size_t>(state.range(0));

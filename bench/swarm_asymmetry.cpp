@@ -1,0 +1,92 @@
+// Scenario driver: seed/leecher capacity asymmetry sweep.
+//
+// The paper's §6 model assumes seeds are not the bottleneck; this sweep
+// measures what the protocol actually delivers when they are (or when
+// they are overprovisioned): a grid over seed count × seed capacity
+// (as a multiple of the median leecher capacity), each point averaged
+// over parallel replications. Output: completion progress, mean/decile
+// leech rates, and the stratification window metrics per grid point.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+#include "sim/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv,
+                     {"peers", "reps", "warmup", "window", "threads", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 120));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 10));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", static_cast<std::int64_t>(sim::recommended_threads())));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 41));
+
+  bench::banner(cli, "Seed/leecher capacity asymmetry sweep (" + std::to_string(peers) +
+                         " leechers, " + std::to_string(reps) + " replications, " +
+                         std::to_string(threads) + " threads)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const std::vector<double> bw = model.representative_sample(peers);
+  std::vector<double> sorted = bw;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  std::vector<std::uint64_t> seeds(reps);
+  for (std::size_t i = 0; i < reps; ++i) seeds[i] = base_seed + i;
+
+  sim::Table table({"seeds", "seed capacity (x median)", "completed", "mean completion round",
+                    "mean leech kbps", "top decile kbps", "bottom decile kbps",
+                    "partner-rank corr", "mean |offset|/n"});
+  for (const std::size_t seed_count : {1u, 2u, 4u}) {
+    for (const double factor : {0.25, 1.0, 4.0}) {
+      bt::SwarmScenario scenario;
+      scenario.config.num_peers = peers;
+      scenario.config.seeds = seed_count;
+      scenario.config.num_pieces = 256;
+      scenario.config.piece_kb = 128.0;
+      scenario.config.neighbor_degree = 25.0;
+      // Flash-crowd start: every block must initially come from the
+      // seeds, so their capacity actually binds.
+      scenario.config.post_flashcrowd = false;
+      scenario.config.seed_upload_kbps = factor * median;
+      scenario.upload_kbps = bw;
+      scenario.warmup_rounds = warmup;
+      scenario.measure_rounds = window;
+      const auto results = bt::run_replications(scenario, seeds, threads);
+
+      double completed = 0.0;
+      double completion_round = 0.0;
+      double mean_kbps = 0.0;
+      double top = 0.0;
+      double bottom = 0.0;
+      double corr = 0.0;
+      double offset = 0.0;
+      for (const auto& r : results) {
+        completed += static_cast<double>(r.completed_leechers);
+        completion_round += r.mean_completion_round;
+        mean_kbps += r.mean_leech_kbps;
+        top += r.top_decile_kbps;
+        bottom += r.bottom_decile_kbps;
+        corr += r.strat.partner_rank_correlation;
+        offset += r.strat.mean_normalized_offset;
+      }
+      const auto n = static_cast<double>(results.size());
+      table.add_row({std::to_string(seed_count), sim::fmt(factor, 2),
+                     sim::fmt(completed / n, 1), sim::fmt(completion_round / n, 1),
+                     sim::fmt(mean_kbps / n, 0), sim::fmt(top / n, 0),
+                     sim::fmt(bottom / n, 0), sim::fmt(corr / n, 3),
+                     sim::fmt(offset / n, 3)});
+    }
+  }
+  bench::emit(cli, table);
+  bench::out(cli) << "\n(starved seeds depress everyone but hit the slow deciles least — they\n"
+                     " were TFT-limited anyway; overprovisioned seeds lift the whole curve\n"
+                     " while the stratification of leecher-leecher exchange persists)\n";
+  return 0;
+}

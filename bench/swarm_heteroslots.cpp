@@ -1,0 +1,91 @@
+// Scenario driver: heterogeneous per-peer TFT slot counts.
+//
+// §6 of the paper treats the slot count b as a global constant; real
+// clients scale it with capacity. This driver compares uniform slot
+// policies against a capacity-scaled assignment (fast peers split
+// their capacity across more slots), measuring what that does to
+// stratification sharpness and to the rate spread between deciles.
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+#include "sim/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv,
+                     {"peers", "reps", "warmup", "window", "threads", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 120));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 10));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", static_cast<std::int64_t>(sim::recommended_threads())));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 61));
+
+  bench::banner(cli, "Heterogeneous TFT slot policies (" + std::to_string(peers) +
+                         " leechers, " + std::to_string(reps) + " replications)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const std::vector<double> bw = model.representative_sample(peers);
+  std::vector<std::uint64_t> seeds(reps);
+  for (std::size_t i = 0; i < reps; ++i) seeds[i] = base_seed + i;
+
+  struct Policy {
+    std::string name;
+    std::vector<std::size_t> slots;  // empty = uniform via tft_slots
+    std::size_t uniform = 0;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"uniform b=1", {}, 1});
+  policies.push_back({"uniform b=3", {}, 3});
+  policies.push_back({"uniform b=5", {}, 5});
+  policies.push_back({"capacity-scaled 1..8", bt::capacity_scaled_slots(bw, 1, 8), 0});
+
+  sim::Table table({"policy", "mean leech kbps", "top decile kbps", "bottom decile kbps",
+                    "top/bottom", "partner-rank corr", "mean |offset|/n"});
+  for (const Policy& policy : policies) {
+    bt::SwarmScenario scenario;
+    scenario.config.num_peers = peers;
+    scenario.config.seeds = 1;
+    scenario.config.num_pieces = 512;
+    scenario.config.piece_kb = 256.0;
+    scenario.config.neighbor_degree = 25.0;
+    scenario.config.initial_completion = 0.5;
+    if (policy.slots.empty()) {
+      scenario.config.tft_slots = policy.uniform;
+    } else {
+      scenario.config.tft_slots_per_peer = policy.slots;
+    }
+    scenario.upload_kbps = bw;
+    scenario.warmup_rounds = warmup;
+    scenario.measure_rounds = window;
+    const auto results = bt::run_replications(scenario, seeds, threads);
+
+    double mean_kbps = 0.0;
+    double top = 0.0;
+    double bottom = 0.0;
+    double corr = 0.0;
+    double offset = 0.0;
+    for (const auto& r : results) {
+      mean_kbps += r.mean_leech_kbps;
+      top += r.top_decile_kbps;
+      bottom += r.bottom_decile_kbps;
+      corr += r.strat.partner_rank_correlation;
+      offset += r.strat.mean_normalized_offset;
+    }
+    const auto n = static_cast<double>(results.size());
+    const double spread = bottom > 0.0 ? top / bottom : 0.0;
+    table.add_row({policy.name, sim::fmt(mean_kbps / n, 0), sim::fmt(top / n, 0),
+                   sim::fmt(bottom / n, 0), sim::fmt(spread, 2), sim::fmt(corr / n, 3),
+                   sim::fmt(offset / n, 3)});
+  }
+  bench::emit(cli, table);
+  bench::out(cli)
+      << "\n(few slots sharpen stratification — fast peers lock onto fast mates;\n"
+         " capacity-scaled slots let the top deciles irrigate more of the swarm,\n"
+         " trading top-end rates for a flatter efficiency curve, cf. Fig. 11)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario driver: peers split across overlapping swarms.
+//
+// Multi-homed peers divide their upload capacity across their swarms,
+// so inside each swarm they rank below their single-homed capacity
+// twins — the matching model predicts they land in lower strata and
+// download proportionally less per swarm. This driver sweeps the
+// overlap fraction and reports the single- vs multi-homed aggregate
+// rates plus per-swarm stratification.
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+#include "sim/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv,
+                     {"swarms", "peers", "warmup", "window", "threads", "seed", "csv"});
+  const auto swarms = static_cast<std::size_t>(cli.get_int("swarms", 2));
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 80));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 10));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", static_cast<std::int64_t>(sim::recommended_threads())));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 51));
+
+  bench::banner(cli, "Multi-swarm overlap sweep (" + std::to_string(swarms) + " swarms x " +
+                         std::to_string(peers) + " peers)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+
+  sim::Table table({"overlap", "distinct peers", "multi-homed", "single-home kbps",
+                    "multi-home kbps", "multi/single ratio", "mean partner-rank corr",
+                    "mean completion round"});
+  for (const double overlap : {0.0, 0.2, 0.4}) {
+    bt::MultiSwarmSpec spec;
+    spec.num_swarms = swarms;
+    spec.peers_per_swarm = peers;
+    spec.overlap_fraction = overlap;
+    spec.config.num_pieces = 512;
+    spec.config.piece_kb = 256.0;
+    spec.config.neighbor_degree = 25.0;
+    spec.config.initial_completion = 0.5;
+    spec.warmup_rounds = warmup;
+    spec.measure_rounds = window;
+    const std::size_t distinct = bt::distinct_peer_count(spec);
+    spec.upload_kbps = model.representative_sample(distinct);
+    const auto result = bt::run_multi_swarm(spec, seed, threads);
+
+    double corr = 0.0;
+    double completion = 0.0;
+    for (const auto& s : result.per_swarm) {
+      corr += s.strat.partner_rank_correlation;
+      completion += s.mean_completion_round;
+    }
+    const auto k = static_cast<double>(result.per_swarm.size());
+    const double ratio = result.mean_single_home_kbps > 0.0
+                             ? result.mean_multi_home_kbps / result.mean_single_home_kbps
+                             : 0.0;
+    table.add_row({sim::fmt(overlap, 2), std::to_string(distinct),
+                   std::to_string(result.multi_home_peers),
+                   sim::fmt(result.mean_single_home_kbps, 0),
+                   sim::fmt(result.mean_multi_home_kbps, 0), sim::fmt(ratio, 3),
+                   sim::fmt(corr / k, 3), sim::fmt(completion / k, 1)});
+  }
+  bench::emit(cli, table);
+  bench::out(cli)
+      << "\n(a multi-homed peer brings 1/k of its capacity to each swarm and drops\n"
+         " into lower strata there: its in-swarm download rate falls below its\n"
+         " single-homed capacity twins' — divided attention is punished exactly\n"
+         " as the stratification model says)\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+# AddressSanitizer + UndefinedBehaviorSanitizer instrumentation, enabled
+# with -DSTRAT_SANITIZE=ON (the gcc Debug sanitizer CI job). Applied
+# globally so the static library, tests, benches and examples all agree
+# on the ABI; -fno-sanitize-recover turns every UBSan finding into a
+# test failure instead of a log line.
+if(STRAT_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "STRAT_SANITIZE requires gcc or clang")
+  endif()
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=address,undefined)
+endif()

@@ -1,5 +1,6 @@
 #include "bittorrent/piece_picker.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace strat::bt {
@@ -41,24 +42,43 @@ PiecePicker::PiecePicker(std::size_t num_pieces) : availability_(num_pieces, 0) 
 
 void PiecePicker::add_availability(PieceId piece) { ++availability_.at(piece); }
 
+void PiecePicker::remove_availability(PieceId piece) {
+  std::uint32_t& copies = availability_.at(piece);
+  if (copies == 0) throw std::logic_error("PiecePicker::remove_availability: already zero");
+  --copies;
+}
+
 std::uint32_t PiecePicker::availability(PieceId piece) const { return availability_.at(piece); }
 
 std::optional<PieceId> PiecePicker::pick_rarest(const Bitfield& local, const Bitfield& remote,
                                                 graph::Rng& rng) const {
+  if (local.size() != remote.size() || local.size() != availability_.size()) {
+    throw std::invalid_argument("PiecePicker::pick_rarest: size mismatch");
+  }
+  // Candidates are remote \ local; walking the set bits of the masked
+  // words visits them in ascending piece order while skipping
+  // everything else — this is the swarm simulator's hottest loop.
+  const std::span<const std::uint64_t> lw = local.words();
+  const std::span<const std::uint64_t> rw = remote.words();
   std::optional<PieceId> best;
   std::uint32_t best_avail = 0;
   std::uint64_t ties = 0;
-  for (PieceId piece = 0; piece < availability_.size(); ++piece) {
-    if (local.test(piece) || !remote.test(piece)) continue;
-    const std::uint32_t avail = availability_[piece];
-    if (!best || avail < best_avail) {
-      best = piece;
-      best_avail = avail;
-      ties = 1;
-    } else if (avail == best_avail) {
-      // Reservoir-style uniform tie-breaking.
-      ++ties;
-      if (rng.below(ties) == 0) best = piece;
+  for (std::size_t w = 0; w < rw.size(); ++w) {
+    std::uint64_t mask = rw[w] & ~lw[w];
+    while (mask != 0) {
+      const auto piece =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+      const std::uint32_t avail = availability_[piece];
+      if (!best || avail < best_avail) {
+        best = piece;
+        best_avail = avail;
+        ties = 1;
+      } else if (avail == best_avail) {
+        // Reservoir-style uniform tie-breaking.
+        ++ties;
+        if (rng.below(ties) == 0) best = piece;
+      }
     }
   }
   return best;

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/rng.hpp"
@@ -36,6 +37,11 @@ class Bitfield {
   /// (the BitTorrent "interested" predicate).
   [[nodiscard]] bool interested_in(const Bitfield& other) const;
 
+  /// Raw 64-bit words (bit i of word w = piece w*64+i); bits beyond
+  /// size() are always zero. Lets pick_rarest skip non-candidate
+  /// pieces a word at a time.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
  private:
   std::size_t bits_ = 0;
   std::size_t count_ = 0;
@@ -49,6 +55,10 @@ class PiecePicker {
 
   /// Registers that one more peer holds `piece`.
   void add_availability(PieceId piece);
+
+  /// Registers that a holder of `piece` left the swarm. Throws
+  /// std::logic_error if the availability is already zero.
+  void remove_availability(PieceId piece);
 
   /// Number of holders of `piece`.
   [[nodiscard]] std::uint32_t availability(PieceId piece) const;

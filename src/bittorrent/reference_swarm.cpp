@@ -1,0 +1,322 @@
+#include "bittorrent/reference_swarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/erdos_renyi.hpp"
+#include "sim/stats.hpp"
+
+namespace strat::bt {
+
+ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> upload_kbps,
+                               graph::Rng& rng)
+    : config_(config),
+      rng_(rng),
+      picker_(config.num_pieces),
+      leechers_(config.num_peers) {
+  if (upload_kbps.size() != config.num_peers) {
+    throw std::invalid_argument("ReferenceSwarm: one upload capacity per leecher required");
+  }
+  if (config.num_peers < 2) throw std::invalid_argument("ReferenceSwarm: need at least 2 peers");
+  if (config.num_pieces == 0 || config.piece_kb <= 0.0) {
+    throw std::invalid_argument("ReferenceSwarm: pieces must be positive");
+  }
+  if (config.initial_completion < 0.0 || config.initial_completion >= 1.0) {
+    throw std::invalid_argument("ReferenceSwarm: initial_completion in [0, 1)");
+  }
+  if (!config.tft_slots_per_peer.empty() &&
+      config.tft_slots_per_peer.size() != config.num_peers) {
+    throw std::invalid_argument("ReferenceSwarm: tft_slots_per_peer needs one entry per leecher");
+  }
+  const std::size_t total = config.num_peers + config.seeds;
+  overlay_ = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
+  stats_.resize(total);
+  have_.assign(total, Bitfield(config.num_pieces));
+  chokers_.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    const std::size_t slots = (p < config.num_peers && !config.tft_slots_per_peer.empty())
+                                  ? config.tft_slots_per_peer[p]
+                                  : config.tft_slots;
+    chokers_.emplace_back(slots, config.optimistic_rounds);
+  }
+  unchoked_.resize(total);
+  received_rate_.resize(total);
+  received_now_.resize(total);
+  sent_rate_.resize(total);
+  sent_now_.resize(total);
+  partial_.resize(total);
+  inflight_.resize(total);
+  departed_.assign(total, false);
+
+  double seed_capacity = config.seed_upload_kbps;
+  if (seed_capacity <= 0.0) {
+    std::vector<double> sorted = upload_kbps;
+    std::sort(sorted.begin(), sorted.end());
+    seed_capacity = sorted[sorted.size() / 2];
+  }
+  for (std::size_t p = 0; p < total; ++p) {
+    const bool is_seed = p >= config.num_peers;
+    stats_[p].seed = is_seed;
+    stats_[p].upload_kbps = is_seed ? seed_capacity : upload_kbps[p];
+    if (is_seed) {
+      for (PieceId piece = 0; piece < config.num_pieces; ++piece) {
+        have_[p].set(piece);
+        picker_.add_availability(piece);
+      }
+      stats_[p].pieces = config.num_pieces;
+      stats_[p].completion_round = 0.0;
+    } else if (config.post_flashcrowd) {
+      for (PieceId piece = 0; piece < config.num_pieces; ++piece) {
+        if (rng.bernoulli(config.initial_completion)) {
+          have_[p].set(piece);
+          picker_.add_availability(piece);
+        }
+      }
+      stats_[p].pieces = have_[p].count();
+      if (have_[p].complete()) {
+        stats_[p].completion_round = 0.0;
+        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p));
+      }
+    }
+  }
+  std::vector<core::PeerId> order(leechers_);
+  std::iota(order.begin(), order.end(), core::PeerId{0});
+  std::sort(order.begin(), order.end(), [&](core::PeerId a, core::PeerId b) {
+    if (stats_[a].upload_kbps != stats_[b].upload_kbps) {
+      return stats_[a].upload_kbps > stats_[b].upload_kbps;
+    }
+    return a < b;
+  });
+  bandwidth_rank_.assign(leechers_, 0);
+  for (std::size_t r = 0; r < order.size(); ++r) bandwidth_rank_[order[r]] = r;
+}
+
+bool ReferenceSwarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
+  return have_[receiver].interested_in(have_[sender]);
+}
+
+void ReferenceSwarm::choke_step() {
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (departed_[p]) {
+      unchoked_[p].clear();
+      continue;
+    }
+    std::vector<ChokeCandidate> candidates;
+    const auto nbrs = overlay_.neighbors(p);
+    candidates.reserve(nbrs.size());
+    for (graph::Vertex vq : nbrs) {
+      const auto q = static_cast<core::PeerId>(vq);
+      if (departed_[q]) continue;
+      ChokeCandidate c;
+      c.peer = q;
+      c.interested = wants_from(q, p);
+      if (stats_[p].seed || have_[p].complete()) {
+        auto it = sent_rate_[p].find(q);
+        c.score = it == sent_rate_[p].end() ? 0.0 : it->second;
+      } else {
+        auto it = received_rate_[p].find(q);
+        c.score = it == received_rate_[p].end() ? 0.0 : it->second;
+      }
+      candidates.push_back(c);
+    }
+    unchoked_[p] = chokers_[p].select(std::move(candidates), rng_);
+  }
+}
+
+void ReferenceSwarm::complete_piece(core::PeerId p, PieceId piece) {
+  have_[p].set(piece);
+  picker_.add_availability(piece);
+  stats_[p].pieces = have_[p].count();
+  if (have_[p].complete() && stats_[p].completion_round < 0.0) {
+    stats_[p].completion_round = static_cast<double>(round_ + 1);
+    if (!config_.stay_as_seed && !stats_[p].seed) depart_peer(p);
+  }
+}
+
+void ReferenceSwarm::depart_peer(core::PeerId p) {
+  departed_[p] = true;
+  for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
+    if (have_[p].test(piece)) picker_.remove_availability(piece);
+  }
+  partial_[p].clear();
+  inflight_[p].clear();
+  unchoked_[p].clear();
+}
+
+double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
+  double remaining = budget;
+  while (remaining > 0.0) {
+    PieceId target;
+    auto locked = inflight_[q].find(p);
+    if (locked != inflight_[q].end() && !have_[q].test(locked->second) &&
+        have_[p].test(locked->second)) {
+      target = locked->second;
+    } else {
+      const auto pick = picker_.pick_rarest(have_[q], have_[p], rng_);
+      if (!pick) break;
+      target = *pick;
+      inflight_[q][p] = target;
+    }
+    double& progress = partial_[q][target];
+    const double need = config_.piece_kb - progress;
+    const double chunk = std::min(need, remaining);
+    progress += chunk;
+    remaining -= chunk;
+    stats_[p].uploaded_kb += chunk;
+    stats_[q].downloaded_kb += chunk;
+    received_now_[q][p] += chunk;
+    sent_now_[p][q] += chunk;
+    if (progress >= config_.piece_kb - 1e-9) {
+      partial_[q].erase(target);
+      inflight_[q].erase(p);
+      complete_piece(q, target);
+    }
+  }
+  return budget - remaining;
+}
+
+void ReferenceSwarm::transfer_step() {
+  std::vector<core::PeerId> hungry;
+  std::vector<core::PeerId> next_hungry;
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    hungry.clear();
+    for (core::PeerId q : unchoked_[p]) {
+      if (wants_from(q, p)) hungry.push_back(q);
+    }
+    if (hungry.empty()) continue;
+    double leftover = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+    while (leftover > kBudgetEpsilon && !hungry.empty()) {
+      const double share = leftover / static_cast<double>(hungry.size());
+      leftover = 0.0;
+      next_hungry.clear();
+      for (core::PeerId q : hungry) {
+        const double spent = send_to(p, q, share);
+        if (spent >= share - kBudgetEpsilon) next_hungry.push_back(q);
+        leftover += share - spent;
+      }
+      hungry.swap(next_hungry);
+    }
+  }
+}
+
+void ReferenceSwarm::run_round() {
+  choke_step();
+  for (core::PeerId p = 0; p < leechers_; ++p) {
+    if (have_[p].complete()) continue;
+    for (core::PeerId q : unchoked_[p]) {
+      if (q <= p || q >= leechers_ || have_[q].complete()) continue;
+      const auto& back = unchoked_[q];
+      if (std::find(back.begin(), back.end(), p) != back.end()) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(p) << 32) | q;
+        ++mutual_rounds_[key];
+      }
+    }
+  }
+  transfer_step();
+  const double alpha = config_.rate_smoothing;
+  auto fold = [&](std::unordered_map<core::PeerId, double>& rate,
+                  std::unordered_map<core::PeerId, double>& now) {
+    for (auto& [peer, kb] : rate) {
+      auto it = now.find(peer);
+      const double fresh = it == now.end() ? 0.0 : it->second;
+      kb = alpha * fresh + (1.0 - alpha) * kb;
+      if (it != now.end()) now.erase(it);
+    }
+    for (const auto& [peer, kb] : now) rate[peer] = alpha * kb;
+    now.clear();
+  };
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
+    fold(received_rate_[p], received_now_[p]);
+    fold(sent_rate_[p], sent_now_[p]);
+  }
+  ++round_;
+}
+
+void ReferenceSwarm::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+std::size_t ReferenceSwarm::completed_leechers() const {
+  std::size_t done = 0;
+  for (std::size_t p = 0; p < leechers_; ++p) {
+    if (have_[p].complete()) ++done;
+  }
+  return done;
+}
+
+double ReferenceSwarm::leech_download_kbps(core::PeerId p) const {
+  const PeerStats& s = stats_.at(p);
+  const double rounds =
+      s.completion_round >= 0.0 ? s.completion_round : static_cast<double>(round_);
+  if (rounds <= 0.0) return 0.0;
+  return s.downloaded_kb * 8.0 / (rounds * config_.round_seconds);
+}
+
+Swarm::AvailabilityStats ReferenceSwarm::availability_stats() const {
+  Swarm::AvailabilityStats out;
+  const std::size_t pieces = config_.num_pieces;
+  if (pieces == 0) return out;
+  out.min = picker_.availability(0);
+  out.max = out.min;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (PieceId piece = 0; piece < pieces; ++piece) {
+    const std::uint32_t a = picker_.availability(piece);
+    out.min = std::min(out.min, a);
+    out.max = std::max(out.max, a);
+    sum += static_cast<double>(a);
+    sum_sq += static_cast<double>(a) * static_cast<double>(a);
+  }
+  out.mean = sum / static_cast<double>(pieces);
+  const double variance = sum_sq / static_cast<double>(pieces) - out.mean * out.mean;
+  out.coefficient_of_variation =
+      out.mean > 0.0 ? std::sqrt(std::max(0.0, variance)) / out.mean : 0.0;
+  return out;
+}
+
+StratificationReport ReferenceSwarm::stratification() const {
+  StratificationReport report;
+  report.reciprocated_pairs = mutual_rounds_.size();
+  if (mutual_rounds_.empty() || leechers_ < 3) return report;
+
+  // Iterate pairs in sorted (p, q) order so the floating-point
+  // accumulation order matches the CSR implementation exactly.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> sorted(mutual_rounds_.begin(),
+                                                              mutual_rounds_.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double offset_sum = 0.0;
+  double weight_sum = 0.0;
+  std::vector<double> partner_rank_sum(leechers_, 0.0);
+  std::vector<double> partner_weight(leechers_, 0.0);
+  for (const auto& [key, rounds] : sorted) {
+    const auto a = static_cast<core::PeerId>(key >> 32);
+    const auto b = static_cast<core::PeerId>(key & 0xFFFFFFFFu);
+    const double w = static_cast<double>(rounds);
+    const double ra = static_cast<double>(bandwidth_rank_[a]);
+    const double rb = static_cast<double>(bandwidth_rank_[b]);
+    offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
+    weight_sum += w;
+    partner_rank_sum[a] += w * rb;
+    partner_weight[a] += w;
+    partner_rank_sum[b] += w * ra;
+    partner_weight[b] += w;
+  }
+  report.mean_normalized_offset = offset_sum / weight_sum;
+
+  std::vector<double> own;
+  std::vector<double> partner;
+  for (std::size_t p = 0; p < leechers_; ++p) {
+    if (partner_weight[p] == 0.0) continue;
+    own.push_back(static_cast<double>(bandwidth_rank_[p]));
+    partner.push_back(partner_rank_sum[p] / partner_weight[p]);
+  }
+  if (own.size() >= 3) {
+    report.partner_rank_correlation = sim::spearman(own, partner);
+  }
+  return report;
+}
+
+}  // namespace strat::bt

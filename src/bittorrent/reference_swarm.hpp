@@ -1,0 +1,79 @@
+// The retained map-based swarm data plane.
+//
+// This is the original per-neighbor `unordered_map` implementation of
+// the round-based simulator (with the same state-bug fixes as the CSR
+// rewrite: departure availability decrements, construction-complete
+// leechers, and upload-budget redistribution). It exists for two jobs:
+//
+//  1. Differential testing — a fixed-seed single-threaded run of
+//     ReferenceSwarm and Swarm must produce bitwise-identical PeerStats
+//     and stratification output (tests/bittorrent/test_swarm_invariants).
+//  2. Benchmarking — micro_swarm times both planes so the CSR layout's
+//     speedup at n = 5000+ stays measured, not assumed.
+//
+// Keep the two implementations' per-round operation and RNG-consumption
+// order in lockstep; any intentional behavior change must land in both.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bittorrent/choker.hpp"
+#include "bittorrent/piece_picker.hpp"
+#include "bittorrent/swarm.hpp"
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::bt {
+
+/// Map-based reference implementation of Swarm (same config/semantics).
+class ReferenceSwarm {
+ public:
+  ReferenceSwarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::Rng& rng);
+
+  void run_round();
+  void run(std::size_t rounds);
+
+  [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
+  [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
+  [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
+  [[nodiscard]] std::size_t completed_leechers() const;
+  [[nodiscard]] double leech_download_kbps(core::PeerId p) const;
+  [[nodiscard]] StratificationReport stratification() const;
+  void reset_stratification() { mutual_rounds_.clear(); }
+  [[nodiscard]] bool departed(core::PeerId p) const { return departed_.at(p); }
+  [[nodiscard]] Swarm::AvailabilityStats availability_stats() const;
+
+ private:
+  void choke_step();
+  void transfer_step();
+  double send_to(core::PeerId p, core::PeerId q, double budget);
+  void complete_piece(core::PeerId p, PieceId piece);
+  void depart_peer(core::PeerId p);
+  [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
+
+  SwarmConfig config_;
+  graph::Rng& rng_;
+  graph::Graph overlay_;
+  PiecePicker picker_;
+  std::vector<PeerStats> stats_;
+  std::vector<Bitfield> have_;
+  std::vector<TftChoker> chokers_;
+  std::vector<std::vector<core::PeerId>> unchoked_;
+  std::vector<std::unordered_map<core::PeerId, double>> received_rate_;
+  std::vector<std::unordered_map<core::PeerId, double>> received_now_;
+  std::vector<std::unordered_map<core::PeerId, double>> sent_rate_;
+  std::vector<std::unordered_map<core::PeerId, double>> sent_now_;
+  std::vector<std::unordered_map<PieceId, double>> partial_;
+  std::vector<std::unordered_map<core::PeerId, PieceId>> inflight_;
+  std::vector<std::size_t> bandwidth_rank_;
+  std::vector<bool> departed_;
+  // key = (min id << 32) | max id.
+  std::unordered_map<std::uint64_t, std::uint32_t> mutual_rounds_;
+  std::size_t round_ = 0;
+  std::size_t leechers_ = 0;
+};
+
+}  // namespace strat::bt

@@ -1,0 +1,213 @@
+#include "bittorrent/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/parallel.hpp"
+
+namespace strat::bt {
+
+namespace {
+
+// Seed offset per member swarm (SplitMix64 increment) so swarms of one
+// multi-swarm run draw independent streams from one scenario seed.
+constexpr std::uint64_t kSwarmSeedStride = 0x9E3779B97F4A7C15ULL;
+
+/// Leecher indices sorted by capacity descending (ties by id) — the
+/// ranking convention of the efficiency model.
+std::vector<std::size_t> capacity_order(const std::vector<double>& upload_kbps) {
+  std::vector<std::size_t> order(upload_kbps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (upload_kbps[a] != upload_kbps[b]) return upload_kbps[a] > upload_kbps[b];
+    return a < b;
+  });
+  return order;
+}
+
+ScenarioResult summarize(const Swarm& swarm, const std::vector<double>& upload_kbps,
+                         std::uint64_t seed) {
+  ScenarioResult out;
+  out.seed = seed;
+  const std::size_t leechers = upload_kbps.size();
+  out.completed_leechers = swarm.completed_leechers();
+
+  double completion_sum = 0.0;
+  std::size_t completion_count = 0;
+  double rate_sum = 0.0;
+  std::vector<double> rates(leechers, 0.0);
+  for (std::size_t p = 0; p < leechers; ++p) {
+    const auto id = static_cast<core::PeerId>(p);
+    rates[p] = swarm.leech_download_kbps(id);
+    rate_sum += rates[p];
+    const double done = swarm.stats(id).completion_round;
+    if (done >= 0.0) {
+      completion_sum += done;
+      ++completion_count;
+    }
+  }
+  out.mean_completion_round =
+      completion_count == 0 ? 0.0 : completion_sum / static_cast<double>(completion_count);
+  out.mean_leech_kbps = leechers == 0 ? 0.0 : rate_sum / static_cast<double>(leechers);
+
+  const std::vector<std::size_t> order = capacity_order(upload_kbps);
+  const std::size_t decile = std::max<std::size_t>(1, leechers / 10);
+  double top = 0.0;
+  double bottom = 0.0;
+  for (std::size_t i = 0; i < decile; ++i) {
+    top += rates[order[i]];
+    bottom += rates[order[leechers - 1 - i]];
+  }
+  out.top_decile_kbps = top / static_cast<double>(decile);
+  out.bottom_decile_kbps = bottom / static_cast<double>(decile);
+
+  out.strat = swarm.stratification();
+  out.availability_cv = swarm.availability_stats().coefficient_of_variation;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+    out.total_uploaded_kb += swarm.stats(p).uploaded_kb;
+    out.total_downloaded_kb += swarm.stats(p).downloaded_kb;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const SwarmScenario& scenario, std::uint64_t seed) {
+  graph::Rng rng(seed);
+  Swarm swarm(scenario.config, scenario.upload_kbps, rng);
+  swarm.run(scenario.warmup_rounds);
+  swarm.reset_stratification();
+  swarm.run(scenario.measure_rounds);
+  return summarize(swarm, scenario.upload_kbps, seed);
+}
+
+std::vector<ScenarioResult> run_replications(const SwarmScenario& scenario,
+                                             std::span<const std::uint64_t> seeds,
+                                             std::size_t threads) {
+  std::vector<ScenarioResult> results(seeds.size());
+  sim::parallel_for(seeds.size(), threads,
+                    [&](std::size_t i) { results[i] = run_scenario(scenario, seeds[i]); });
+  return results;
+}
+
+std::vector<std::size_t> capacity_scaled_slots(const std::vector<double>& upload_kbps,
+                                               std::size_t lo, std::size_t hi) {
+  if (lo < 1 || lo > hi) {
+    throw std::invalid_argument("capacity_scaled_slots: need 1 <= lo <= hi");
+  }
+  double log_min = 0.0;
+  double log_max = 0.0;
+  bool first = true;
+  for (double kbps : upload_kbps) {
+    if (kbps <= 0.0) throw std::invalid_argument("capacity_scaled_slots: capacities > 0");
+    const double l = std::log(kbps);
+    log_min = first ? l : std::min(log_min, l);
+    log_max = first ? l : std::max(log_max, l);
+    first = false;
+  }
+  std::vector<std::size_t> slots(upload_kbps.size());
+  const double span = log_max - log_min;
+  for (std::size_t i = 0; i < upload_kbps.size(); ++i) {
+    if (span <= 0.0) {
+      slots[i] = (lo + hi) / 2;  // uniform capacities: middle of the range
+      continue;
+    }
+    const double t = (std::log(upload_kbps[i]) - log_min) / span;
+    slots[i] = lo + static_cast<std::size_t>(
+                        std::llround(t * static_cast<double>(hi - lo)));
+  }
+  return slots;
+}
+
+std::size_t distinct_peer_count(const MultiSwarmSpec& spec) {
+  if (spec.num_swarms == 0 || spec.peers_per_swarm < 2) {
+    throw std::invalid_argument("MultiSwarmSpec: need >= 1 swarm of >= 2 peers");
+  }
+  if (spec.overlap_fraction < 0.0 || spec.overlap_fraction >= 1.0) {
+    throw std::invalid_argument("MultiSwarmSpec: overlap_fraction in [0, 1)");
+  }
+  const auto overlap = static_cast<std::size_t>(spec.overlap_fraction *
+                                                static_cast<double>(spec.peers_per_swarm));
+  const std::size_t stride = spec.peers_per_swarm - overlap;
+  return (spec.num_swarms - 1) * stride + spec.peers_per_swarm;
+}
+
+MultiSwarmResult run_multi_swarm(const MultiSwarmSpec& spec, std::uint64_t seed,
+                                 std::size_t threads) {
+  const std::size_t distinct = distinct_peer_count(spec);
+  if (spec.upload_kbps.size() != distinct) {
+    throw std::invalid_argument("MultiSwarmSpec: one capacity per distinct peer required");
+  }
+  const auto overlap = static_cast<std::size_t>(spec.overlap_fraction *
+                                                static_cast<double>(spec.peers_per_swarm));
+  const std::size_t stride = spec.peers_per_swarm - overlap;
+
+  // Membership count per distinct peer: swarm k covers global ids
+  // [k*stride, k*stride + peers_per_swarm).
+  std::vector<std::size_t> memberships(distinct, 0);
+  for (std::size_t k = 0; k < spec.num_swarms; ++k) {
+    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
+      ++memberships[k * stride + local];
+    }
+  }
+
+  MultiSwarmResult out;
+  out.per_swarm.resize(spec.num_swarms);
+  // Aggregate leech rate per distinct peer, summed over member swarms.
+  // Distinct swarms write distinct slots, so the parallel loop is safe:
+  // each peer's rate contributions go to per-swarm buffers first.
+  std::vector<std::vector<double>> swarm_rates(spec.num_swarms);
+  sim::parallel_for(spec.num_swarms, threads, [&](std::size_t k) {
+    SwarmConfig cfg = spec.config;
+    cfg.num_peers = spec.peers_per_swarm;
+    std::vector<double> capacities(spec.peers_per_swarm);
+    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
+      const std::size_t global = k * stride + local;
+      // Divided attention: a peer in m swarms brings 1/m of its
+      // capacity to each.
+      capacities[local] =
+          spec.upload_kbps[global] / static_cast<double>(memberships[global]);
+    }
+    graph::Rng rng(seed + kSwarmSeedStride * (k + 1));
+    Swarm swarm(cfg, capacities, rng);
+    swarm.run(spec.warmup_rounds);
+    swarm.reset_stratification();
+    swarm.run(spec.measure_rounds);
+    out.per_swarm[k] = summarize(swarm, capacities, seed + kSwarmSeedStride * (k + 1));
+    auto& rates = swarm_rates[k];
+    rates.resize(spec.peers_per_swarm);
+    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
+      rates[local] = swarm.leech_download_kbps(static_cast<core::PeerId>(local));
+    }
+  });
+
+  std::vector<double> total_rate(distinct, 0.0);
+  for (std::size_t k = 0; k < spec.num_swarms; ++k) {
+    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
+      total_rate[k * stride + local] += swarm_rates[k][local];
+    }
+  }
+  double single_sum = 0.0;
+  double multi_sum = 0.0;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    // Per-membership mean: each swarm carries distinct content, so the
+    // comparable figure is the rate achieved inside one swarm.
+    const double per_swarm_rate = total_rate[i] / static_cast<double>(memberships[i]);
+    if (memberships[i] <= 1) {
+      ++out.single_home_peers;
+      single_sum += per_swarm_rate;
+    } else {
+      ++out.multi_home_peers;
+      multi_sum += per_swarm_rate;
+    }
+  }
+  out.mean_single_home_kbps =
+      out.single_home_peers == 0 ? 0.0 : single_sum / static_cast<double>(out.single_home_peers);
+  out.mean_multi_home_kbps =
+      out.multi_home_peers == 0 ? 0.0 : multi_sum / static_cast<double>(out.multi_home_peers);
+  return out;
+}
+
+}  // namespace strat::bt

@@ -1,0 +1,107 @@
+// Scenario engine over the swarm simulator.
+//
+// A SwarmScenario bundles a SwarmConfig with a capacity assignment and a
+// warm-up/measurement schedule; run_scenario() executes one seeded run
+// and distills the aggregates the §6 validation cares about (completion,
+// leech-phase rates by capacity decile, stratification, availability
+// dispersion). run_replications() fans independent seeds out over a
+// thread pool (sim::parallel_for) — results are deterministic per seed
+// regardless of the thread count.
+//
+// On top of single swarms, MultiSwarmSpec models peers split across
+// several overlapping swarms: a peer in k swarms divides its upload
+// capacity k ways, so multi-homed peers rank lower *within* each swarm
+// — the stratification penalty of divided attention, a scenario the
+// paper's single-swarm model cannot express directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bittorrent/swarm.hpp"
+
+namespace strat::bt {
+
+/// One parameterized swarm experiment.
+struct SwarmScenario {
+  SwarmConfig config;
+  /// One capacity per leecher (config.num_peers entries).
+  std::vector<double> upload_kbps;
+  /// Rounds run before the stratification window opens (TFT lock-in).
+  std::size_t warmup_rounds = 20;
+  /// Rounds measured after the warm-up.
+  std::size_t measure_rounds = 40;
+};
+
+/// Aggregates of one seeded scenario run.
+struct ScenarioResult {
+  std::uint64_t seed = 0;
+  std::size_t completed_leechers = 0;
+  /// Mean completion round over completed leechers (0 when none).
+  double mean_completion_round = 0.0;
+  /// Mean leech-phase download rate over all leechers (kbps).
+  double mean_leech_kbps = 0.0;
+  /// Mean leech-phase rate of the fastest / slowest 10% by capacity.
+  double top_decile_kbps = 0.0;
+  double bottom_decile_kbps = 0.0;
+  StratificationReport strat;
+  double availability_cv = 0.0;
+  double total_uploaded_kb = 0.0;
+  double total_downloaded_kb = 0.0;
+};
+
+/// Runs one scenario with the given seed (warm-up, reset, measure).
+[[nodiscard]] ScenarioResult run_scenario(const SwarmScenario& scenario, std::uint64_t seed);
+
+/// Runs one replication per seed, distributed over `threads` workers.
+/// Results are indexed like `seeds` and independent of `threads`.
+[[nodiscard]] std::vector<ScenarioResult> run_replications(const SwarmScenario& scenario,
+                                                           std::span<const std::uint64_t> seeds,
+                                                           std::size_t threads = 1);
+
+/// Heterogeneous-slot helper: maps capacities to per-peer TFT slot
+/// counts in [lo, hi], linear in log-capacity (fastest peer gets hi).
+/// Requires lo >= 1, lo <= hi, and positive capacities.
+[[nodiscard]] std::vector<std::size_t> capacity_scaled_slots(const std::vector<double>& upload_kbps,
+                                                             std::size_t lo, std::size_t hi);
+
+/// Peers spread across `num_swarms` overlapping swarms.
+struct MultiSwarmSpec {
+  std::size_t num_swarms = 2;
+  std::size_t peers_per_swarm = 80;
+  /// Fraction of each swarm's leechers shared with the next swarm
+  /// (in [0, 1); consecutive swarms overlap on that many peers).
+  double overlap_fraction = 0.2;
+  /// Per-swarm config; num_peers is overridden with peers_per_swarm.
+  SwarmConfig config;
+  /// One capacity per *distinct* peer (distinct_peer_count entries).
+  std::vector<double> upload_kbps;
+  std::size_t warmup_rounds = 20;
+  std::size_t measure_rounds = 40;
+};
+
+/// Number of distinct peers implied by the overlap layout.
+[[nodiscard]] std::size_t distinct_peer_count(const MultiSwarmSpec& spec);
+
+/// Multi-swarm aggregates: per-swarm results plus the single- vs
+/// multi-homed comparison. Rates are *per swarm membership* (a peer in
+/// two swarms contributes the average of its two in-swarm rates), so a
+/// ratio below 1 is the stratification penalty of divided capacity —
+/// each swarm downloads distinct content, so summing would compare
+/// different workloads.
+struct MultiSwarmResult {
+  std::vector<ScenarioResult> per_swarm;
+  std::size_t single_home_peers = 0;
+  std::size_t multi_home_peers = 0;
+  double mean_single_home_kbps = 0.0;  // mean in-swarm leech rate, 1 swarm
+  double mean_multi_home_kbps = 0.0;   // mean in-swarm leech rate, 2+ swarms
+};
+
+/// Runs every member swarm (in parallel when threads > 1; swarms are
+/// independent once capacities are split, so this is deterministic).
+[[nodiscard]] MultiSwarmResult run_multi_swarm(const MultiSwarmSpec& spec, std::uint64_t seed,
+                                               std::size_t threads = 1);
+
+}  // namespace strat::bt

@@ -25,18 +25,48 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   if (config.initial_completion < 0.0 || config.initial_completion >= 1.0) {
     throw std::invalid_argument("Swarm: initial_completion in [0, 1)");
   }
+  if (!config.tft_slots_per_peer.empty() &&
+      config.tft_slots_per_peer.size() != config.num_peers) {
+    throw std::invalid_argument("Swarm: tft_slots_per_peer needs one entry per leecher");
+  }
   const std::size_t total = config.num_peers + config.seeds;
   overlay_ = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
+
+  // CSR mirror of the (finalized, sorted) overlay adjacency.
+  edge_offset_.assign(total + 1, 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    edge_offset_[p + 1] = edge_offset_[p] + overlay_.degree(static_cast<graph::Vertex>(p));
+  }
+  edge_peer_.reserve(edge_offset_[total]);
+  for (std::size_t p = 0; p < total; ++p) {
+    for (graph::Vertex q : overlay_.neighbors(static_cast<graph::Vertex>(p))) {
+      edge_peer_.push_back(static_cast<core::PeerId>(q));
+    }
+  }
+  mirror_.resize(edge_peer_.size());
+  for (std::size_t p = 0; p < total; ++p) {
+    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
+      mirror_[s] = slot_of(edge_peer_[s], static_cast<core::PeerId>(p));
+    }
+  }
+  rate_in_.assign(edge_peer_.size(), 0.0);
+  now_in_.assign(edge_peer_.size(), 0.0);
+  rate_out_.assign(edge_peer_.size(), 0.0);
+  now_out_.assign(edge_peer_.size(), 0.0);
+  inflight_.assign(edge_peer_.size(), kNoPiece);
+  mutual_rounds_.assign(edge_peer_.size(), 0);
+
   stats_.resize(total);
   have_.assign(total, Bitfield(config.num_pieces));
-  chokers_.assign(total, TftChoker(config.tft_slots, config.optimistic_rounds));
+  chokers_.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    const std::size_t slots = (p < config.num_peers && !config.tft_slots_per_peer.empty())
+                                  ? config.tft_slots_per_peer[p]
+                                  : config.tft_slots;
+    chokers_.emplace_back(slots, config.optimistic_rounds);
+  }
   unchoked_.resize(total);
-  received_rate_.resize(total);
-  received_now_.resize(total);
-  sent_rate_.resize(total);
-  sent_now_.resize(total);
   partial_.resize(total);
-  inflight_.resize(total);
   departed_.assign(total, false);
 
   double seed_capacity = config.seed_upload_kbps;
@@ -66,6 +96,13 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
         }
       }
       stats_[p].pieces = have_[p].count();
+      if (have_[p].complete()) {
+        // The Bernoulli draws can complete a leecher outright; treat it
+        // like a round-0 completion so it never divides by the full run
+        // length in leech_download_kbps() and departs consistently.
+        stats_[p].completion_round = 0.0;
+        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p));
+      }
     }
   }
   // Bandwidth ranks over leechers (0 = fastest), ties by id.
@@ -81,6 +118,13 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   for (std::size_t r = 0; r < order.size(); ++r) bandwidth_rank_[order[r]] = r;
 }
 
+std::size_t Swarm::slot_of(core::PeerId p, core::PeerId q) const {
+  const auto first = edge_peer_.begin() + static_cast<std::ptrdiff_t>(edge_offset_[p]);
+  const auto last = edge_peer_.begin() + static_cast<std::ptrdiff_t>(edge_offset_[p + 1]);
+  const auto it = std::lower_bound(first, last, q);
+  return static_cast<std::size_t>(it - edge_peer_.begin());
+}
+
 bool Swarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
   return have_[receiver].interested_in(have_[sender]);
 }
@@ -92,25 +136,34 @@ void Swarm::choke_step() {
       continue;
     }
     std::vector<ChokeCandidate> candidates;
-    const auto nbrs = overlay_.neighbors(p);
-    candidates.reserve(nbrs.size());
-    for (graph::Vertex vq : nbrs) {
-      const auto q = static_cast<core::PeerId>(vq);
+    candidates.reserve(edge_offset_[p + 1] - edge_offset_[p]);
+    const bool serve_fastest = stats_[p].seed || have_[p].complete();
+    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
+      const core::PeerId q = edge_peer_[s];
       if (departed_[q]) continue;
       ChokeCandidate c;
       c.peer = q;
       c.interested = wants_from(q, p);
-      if (stats_[p].seed || have_[p].complete()) {
-        // Seed policy: serve the fastest downloaders.
-        auto it = sent_rate_[p].find(q);
-        c.score = it == sent_rate_[p].end() ? 0.0 : it->second;
-      } else {
-        auto it = received_rate_[p].find(q);
-        c.score = it == received_rate_[p].end() ? 0.0 : it->second;
-      }
+      // Seed policy: serve the fastest downloaders.
+      c.score = serve_fastest ? rate_out_[s] : rate_in_[s];
       candidates.push_back(c);
     }
     unchoked_[p] = chokers_[p].select(std::move(candidates), rng_);
+  }
+}
+
+void Swarm::record_mutual_unchokes() {
+  // Mutual unchokes among still-downloading leechers: these are the
+  // effective TFT collaborations the matching model describes.
+  for (core::PeerId p = 0; p < leechers_; ++p) {
+    if (have_[p].complete()) continue;
+    for (core::PeerId q : unchoked_[p]) {
+      if (q <= p || q >= leechers_ || have_[q].complete()) continue;
+      const auto& back = unchoked_[q];
+      if (std::find(back.begin(), back.end(), p) != back.end()) {
+        ++mutual_rounds_[slot_of(p, q)];
+      }
+    }
   }
 }
 
@@ -120,95 +173,118 @@ void Swarm::complete_piece(core::PeerId p, PieceId piece) {
   stats_[p].pieces = have_[p].count();
   if (have_[p].complete() && stats_[p].completion_round < 0.0) {
     stats_[p].completion_round = static_cast<double>(round_ + 1);
-    if (!config_.stay_as_seed && !stats_[p].seed) departed_[p] = true;
+    if (!config_.stay_as_seed && !stats_[p].seed) depart_peer(p);
   }
 }
 
+void Swarm::depart_peer(core::PeerId p) {
+  departed_[p] = true;
+  // Its copies leave the swarm: rarest-first must stop counting them.
+  for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
+    if (have_[p].test(piece)) picker_.remove_availability(piece);
+  }
+  partial_[p].clear();
+  for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
+    inflight_[s] = kNoPiece;
+  }
+  unchoked_[p].clear();
+}
+
+double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget) {
+  const std::size_t slot_qp = mirror_[slot_pq];  // receiver-owned slot
+  double remaining = budget;
+  // Apply bytes to pieces until the budget is spent or q stops wanting
+  // anything p has.
+  while (remaining > 0.0) {
+    PieceId target = inflight_[slot_qp];
+    if (target == kNoPiece || have_[q].test(target) || !have_[p].test(target)) {
+      const auto pick = picker_.pick_rarest(have_[q], have_[p], rng_);
+      if (!pick) break;
+      target = *pick;
+      inflight_[slot_qp] = target;
+    }
+    auto& partial = partial_[q];
+    auto it = std::find_if(partial.begin(), partial.end(),
+                           [&](const auto& entry) { return entry.first == target; });
+    if (it == partial.end()) {
+      partial.emplace_back(target, 0.0);
+      it = partial.end() - 1;
+    }
+    const double need = config_.piece_kb - it->second;
+    const double chunk = std::min(need, remaining);
+    it->second += chunk;
+    remaining -= chunk;
+    stats_[p].uploaded_kb += chunk;
+    stats_[q].downloaded_kb += chunk;
+    now_in_[slot_qp] += chunk;
+    now_out_[slot_pq] += chunk;
+    if (it->second >= config_.piece_kb - 1e-9) {
+      partial.erase(it);
+      inflight_[slot_qp] = kNoPiece;
+      complete_piece(q, target);
+    }
+  }
+  return budget - remaining;
+}
+
 void Swarm::transfer_step() {
+  // (receiver, sender-side slot): the slot is loop-invariant per pair,
+  // so resolve it once instead of per redistribution pass.
+  std::vector<std::pair<core::PeerId, std::size_t>> hungry;
+  std::vector<std::pair<core::PeerId, std::size_t>> next_hungry;
   for (core::PeerId p = 0; p < stats_.size(); ++p) {
     // Active transfers: unchoked neighbors that actually want data.
-    std::vector<core::PeerId> active;
-    active.reserve(unchoked_[p].size());
+    hungry.clear();
     for (core::PeerId q : unchoked_[p]) {
-      if (wants_from(q, p)) active.push_back(q);
+      if (wants_from(q, p)) hungry.emplace_back(q, slot_of(p, q));
     }
-    if (active.empty()) continue;
-    // kbps -> KB per round, split evenly across active transfers.
-    const double budget_kb =
-        stats_[p].upload_kbps / 8.0 * config_.round_seconds / static_cast<double>(active.size());
-    for (core::PeerId q : active) {
-      double remaining = budget_kb;
-      // Apply bytes to pieces until the budget is spent or q stops
-      // wanting anything p has.
-      while (remaining > 0.0) {
-        PieceId target;
-        auto locked = inflight_[q].find(p);
-        if (locked != inflight_[q].end() && !have_[q].test(locked->second) &&
-            have_[p].test(locked->second)) {
-          target = locked->second;
-        } else {
-          const auto pick = picker_.pick_rarest(have_[q], have_[p], rng_);
-          if (!pick) break;
-          target = *pick;
-          inflight_[q][p] = target;
-        }
-        double& progress = partial_[q][target];
-        const double need = config_.piece_kb - progress;
-        const double chunk = std::min(need, remaining);
-        progress += chunk;
-        remaining -= chunk;
-        stats_[p].uploaded_kb += chunk;
-        stats_[q].downloaded_kb += chunk;
-        received_now_[q][p] += chunk;
-        sent_now_[p][q] += chunk;
-        if (progress >= config_.piece_kb - 1e-9) {
-          partial_[q].erase(target);
-          inflight_[q].erase(p);
-          complete_piece(q, target);
-        }
+    if (hungry.empty()) continue;
+    // kbps -> KB per round. Split evenly across active transfers, then
+    // redistribute whatever a finished receiver left on the table among
+    // the ones still able to take data.
+    double leftover = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+    while (leftover > kBudgetEpsilon && !hungry.empty()) {
+      const double share = leftover / static_cast<double>(hungry.size());
+      leftover = 0.0;
+      next_hungry.clear();
+      for (const auto& [q, slot] : hungry) {
+        const double spent = send_to(p, q, slot, share);
+        // A receiver that absorbed its whole share can take more; one
+        // that ran out of pickable pieces is dropped from this round.
+        if (spent >= share - kBudgetEpsilon) next_hungry.emplace_back(q, slot);
+        leftover += share - spent;
       }
+      hungry.swap(next_hungry);
     }
+  }
+}
+
+void Swarm::fold_rates() {
+  // Fold this round's transfers into the smoothed per-neighbor rates:
+  // one pass over every edge slot, no hashing.
+  const double alpha = config_.rate_smoothing;
+  for (std::size_t s = 0; s < edge_peer_.size(); ++s) {
+    rate_in_[s] = alpha * now_in_[s] + (1.0 - alpha) * rate_in_[s];
+    now_in_[s] = 0.0;
+    rate_out_[s] = alpha * now_out_[s] + (1.0 - alpha) * rate_out_[s];
+    now_out_[s] = 0.0;
   }
 }
 
 void Swarm::run_round() {
   choke_step();
-  // Record mutual unchokes among still-downloading leechers: these are
-  // the effective TFT collaborations the matching model describes.
-  for (core::PeerId p = 0; p < leechers_; ++p) {
-    if (have_[p].complete()) continue;
-    for (core::PeerId q : unchoked_[p]) {
-      if (q <= p || q >= leechers_ || have_[q].complete()) continue;
-      const auto& back = unchoked_[q];
-      if (std::find(back.begin(), back.end(), p) != back.end()) {
-        const std::uint64_t key = (static_cast<std::uint64_t>(p) << 32) | q;
-        ++mutual_rounds_[key];
-      }
-    }
-  }
+  record_mutual_unchokes();
   transfer_step();
-  // Fold this round's transfers into the smoothed per-neighbor rates.
-  const double alpha = config_.rate_smoothing;
-  auto fold = [&](std::unordered_map<core::PeerId, double>& rate,
-                  std::unordered_map<core::PeerId, double>& now) {
-    for (auto& [peer, kb] : rate) {
-      auto it = now.find(peer);
-      const double fresh = it == now.end() ? 0.0 : it->second;
-      kb = alpha * fresh + (1.0 - alpha) * kb;
-      if (it != now.end()) now.erase(it);
-    }
-    for (const auto& [peer, kb] : now) rate[peer] = alpha * kb;
-    now.clear();
-  };
-  for (std::size_t p = 0; p < stats_.size(); ++p) {
-    fold(received_rate_[p], received_now_[p]);
-    fold(sent_rate_[p], sent_now_[p]);
-  }
+  fold_rates();
   ++round_;
 }
 
 void Swarm::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+void Swarm::reset_stratification() {
+  std::fill(mutual_rounds_.begin(), mutual_rounds_.end(), 0);
 }
 
 std::size_t Swarm::completed_leechers() const {
@@ -275,26 +351,28 @@ std::vector<std::pair<core::PeerId, core::PeerId>> Swarm::reciprocated_pairs() c
 
 StratificationReport Swarm::stratification() const {
   StratificationReport report;
-  report.reciprocated_pairs = mutual_rounds_.size();
-  if (mutual_rounds_.empty() || leechers_ < 3) return report;
-
   double offset_sum = 0.0;
   double weight_sum = 0.0;
   std::vector<double> partner_rank_sum(leechers_, 0.0);
   std::vector<double> partner_weight(leechers_, 0.0);
-  for (const auto& [key, rounds] : mutual_rounds_) {
-    const auto a = static_cast<core::PeerId>(key >> 32);
-    const auto b = static_cast<core::PeerId>(key & 0xFFFFFFFFu);
-    const double w = static_cast<double>(rounds);
-    const double ra = static_cast<double>(bandwidth_rank_[a]);
-    const double rb = static_cast<double>(bandwidth_rank_[b]);
-    offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
-    weight_sum += w;
-    partner_rank_sum[a] += w * rb;
-    partner_weight[a] += w;
-    partner_rank_sum[b] += w * ra;
-    partner_weight[b] += w;
+  // Slot order = (p ascending, q ascending): deterministic accumulation.
+  for (core::PeerId p = 0; p < leechers_; ++p) {
+    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
+      const core::PeerId q = edge_peer_[s];
+      if (q <= p || q >= leechers_ || mutual_rounds_[s] == 0) continue;
+      ++report.reciprocated_pairs;
+      const double w = static_cast<double>(mutual_rounds_[s]);
+      const double ra = static_cast<double>(bandwidth_rank_[p]);
+      const double rb = static_cast<double>(bandwidth_rank_[q]);
+      offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
+      weight_sum += w;
+      partner_rank_sum[p] += w * rb;
+      partner_weight[p] += w;
+      partner_rank_sum[q] += w * ra;
+      partner_weight[q] += w;
+    }
   }
+  if (report.reciprocated_pairs == 0 || leechers_ < 3) return report;
   report.mean_normalized_offset = offset_sum / weight_sum;
 
   std::vector<double> own;

@@ -12,11 +12,21 @@
 // subset of pieces (the paper's assumption that rarest-first has
 // already equalized block repartition); flash-crowd mode starts all
 // leechers empty with `seeds` complete peers.
+//
+// Data plane: the tracker overlay is static, so all per-neighbor state
+// (smoothed rate estimates, in-flight piece locks, mutual-unchoke
+// counters) lives in flat arrays indexed by *edge slot* — a CSR layout
+// with one directed slot per (peer, neighbor) pair, preallocated at
+// construction. This keeps a round O(edges) with no hashing or
+// allocation on the hot path and scales to 10^4..10^5 peers; see
+// reference_swarm.hpp for the retained map-based implementation used to
+// differential-test this one.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "bittorrent/choker.hpp"
@@ -47,6 +57,10 @@ struct SwarmConfig {
   /// 1.0 reproduces the raw last-interval estimate; the reference client
   /// effectively averages over ~2 intervals (alpha ~ 0.5).
   double rate_smoothing = 0.5;
+  /// Per-leecher regular unchoke slots. Empty = every leecher uses
+  /// `tft_slots`; otherwise one entry per leecher (seeds always use
+  /// `tft_slots`). Enables upload-slot heterogeneity scenarios.
+  std::vector<std::size_t> tft_slots_per_peer;
 };
 
 /// Per-peer accounting, exposed for metrics.
@@ -73,6 +87,15 @@ struct StratificationReport {
   /// Number of distinct reciprocated (mutual-unchoke) TFT pairs seen.
   std::size_t reciprocated_pairs = 0;
 };
+
+/// Sentinel "no piece in flight on this edge" value.
+inline constexpr PieceId kNoPiece = std::numeric_limits<PieceId>::max();
+
+/// Upload budget (KB) below which a round's redistribution loop stops.
+/// Shared by Swarm and ReferenceSwarm: both transfer loops must agree
+/// on which receivers count as satiated or the differential tests
+/// diverge.
+inline constexpr double kBudgetEpsilon = 1e-9;
 
 /// The simulator.
 class Swarm {
@@ -108,7 +131,7 @@ class Swarm {
 
   /// Clears the accumulated mutual-unchoke history, so stratification()
   /// reflects a fresh measurement window (e.g. after a burn-in phase).
-  void reset_stratification() { mutual_rounds_.clear(); }
+  void reset_stratification();
 
   /// Reciprocated TFT pairs of the last round (mutual unchokes between
   /// two leechers), as (better peer, worse peer) by bandwidth.
@@ -134,11 +157,25 @@ class Swarm {
     return overlay_.neighbors(p);
   }
 
+  /// Number of directed overlay edge slots (data-plane footprint).
+  [[nodiscard]] std::size_t edge_slot_count() const noexcept { return edge_peer_.size(); }
+
  private:
   void choke_step();
+  void record_mutual_unchokes();
   void transfer_step();
+  void fold_rates();
+  /// Sends up to `budget` KB from p to q; returns the KB actually
+  /// transferred (less than `budget` when q runs out of pickable
+  /// pieces).
+  double send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget);
   void complete_piece(core::PeerId p, PieceId piece);
+  /// Removes a completed leecher from the data plane: availability
+  /// counters drop, partial/in-flight state is discarded.
+  void depart_peer(core::PeerId p);
   [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
+  /// Edge slot of neighbor q in p's CSR row (adjacency is sorted).
+  [[nodiscard]] std::size_t slot_of(core::PeerId p, core::PeerId q) const;
 
   SwarmConfig config_;
   graph::Rng& rng_;
@@ -148,23 +185,33 @@ class Swarm {
   std::vector<Bitfield> have_;
   std::vector<TftChoker> chokers_;
   std::vector<std::vector<core::PeerId>> unchoked_;  // per peer, this round
-  // received_rate_[p] maps neighbor -> smoothed KB/round received
-  // (EWMA, see SwarmConfig::rate_smoothing); received_now_ accumulates
-  // the current round before being folded in.
-  std::vector<std::unordered_map<core::PeerId, double>> received_rate_;
-  std::vector<std::unordered_map<core::PeerId, double>> received_now_;
-  // sent_rate_[p]: neighbor -> smoothed KB/round sent (seed policy).
-  std::vector<std::unordered_map<core::PeerId, double>> sent_rate_;
-  std::vector<std::unordered_map<core::PeerId, double>> sent_now_;
-  // Partial piece progress: per peer, piece -> KB accumulated.
-  std::vector<std::unordered_map<PieceId, double>> partial_;
-  // In-flight target piece per (receiver, sender) to avoid thrashing.
-  std::vector<std::unordered_map<core::PeerId, PieceId>> inflight_;
+
+  // --- CSR edge-slot data plane -------------------------------------
+  // Directed slot s belongs to peer p (edge_offset_[p] <= s <
+  // edge_offset_[p+1]) and names neighbor edge_peer_[s]; mirror_[s] is
+  // the opposite-direction slot. All per-neighbor state below is
+  // indexed by slot and preallocated once (the overlay is static).
+  std::vector<std::size_t> edge_offset_;    // |V|+1 prefix sums
+  std::vector<core::PeerId> edge_peer_;     // slot -> neighbor
+  std::vector<std::size_t> mirror_;         // slot -> reverse slot
+  std::vector<double> rate_in_;   // smoothed KB/round received on slot
+  std::vector<double> now_in_;    // current round's receipts on slot
+  std::vector<double> rate_out_;  // smoothed KB/round sent on slot (seed policy)
+  std::vector<double> now_out_;   // current round's sends on slot
+  // In-flight target piece per receiver-owned slot (receiver = slot
+  // owner, sender = edge_peer_[slot]); kNoPiece when idle.
+  std::vector<PieceId> inflight_;
+  // Rounds each leecher pair spent mutually unchoked while both were
+  // still downloading, on the lower-endpoint-owned slot (owner < nbr).
+  std::vector<std::uint32_t> mutual_rounds_;
+
+  // Partial piece progress: per receiver, (piece, KB accumulated)
+  // pairs. At most one entry per active sender, so linear scans win
+  // over hashing.
+  std::vector<std::vector<std::pair<PieceId, double>>> partial_;
+
   std::vector<std::size_t> bandwidth_rank_;  // leecher -> rank by capacity
   std::vector<bool> departed_;
-  // Rounds each leecher pair spent mutually unchoked while both were
-  // still downloading; key = (min id << 32) | max id.
-  std::unordered_map<std::uint64_t, std::uint32_t> mutual_rounds_;
   std::size_t round_ = 0;
   std::size_t leechers_ = 0;
 };

@@ -1,0 +1,30 @@
+// Minimal thread-pool-style parallel loop for independent replications.
+//
+// Scenario sweeps and Monte-Carlo replications are embarrassingly
+// parallel: every index gets its own Rng seeded independently, and
+// results are written to per-index slots. parallel_for() distributes
+// indices over `threads` std::thread workers via an atomic counter, so
+// the *schedule* is nondeterministic but the per-index results are not:
+// running with 1 thread or N threads produces identical output. A
+// single seeded simulation therefore stays bitwise-deterministic — only
+// whole replications are parallelized, never the inside of a run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace strat::sim {
+
+/// Worker count to use by default: std::thread::hardware_concurrency(),
+/// with a floor of 1 when the runtime reports 0.
+[[nodiscard]] std::size_t recommended_threads() noexcept;
+
+/// Invokes body(i) for every i in [0, count), distributed over up to
+/// `threads` worker threads (capped at `count`; <= 1 runs inline, in
+/// order). body must be safe to call concurrently for distinct indices.
+/// The first exception thrown by any invocation is rethrown on the
+/// calling thread after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace strat::sim

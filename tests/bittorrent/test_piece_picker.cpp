@@ -142,5 +142,32 @@ TEST(PiecePicker, TieBreakingIsUniformish) {
   for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / 3000.0, 1.0 / 3.0, 0.05);
 }
 
+TEST(PiecePicker, RemoveAvailabilityUndoesAddAndGuardsZero) {
+  PiecePicker picker(4);
+  picker.add_availability(2);
+  picker.add_availability(2);
+  picker.remove_availability(2);
+  EXPECT_EQ(picker.availability(2), 1u);
+  picker.remove_availability(2);
+  EXPECT_EQ(picker.availability(2), 0u);
+  EXPECT_THROW(picker.remove_availability(2), std::logic_error);
+  EXPECT_THROW(picker.remove_availability(9), std::out_of_range);
+  // A removed holder changes rarest-first decisions: piece 3 becomes
+  // strictly rarer than piece 1 once its extra copy is gone.
+  picker.add_availability(1);
+  picker.add_availability(3);
+  picker.add_availability(3);
+  picker.remove_availability(3);
+  picker.remove_availability(3);
+  Bitfield local(4);
+  Bitfield remote(4);
+  remote.set(1);
+  remote.set(3);
+  graph::Rng rng(5);
+  const auto pick = picker.pick_rarest(local, remote, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 3u);
+}
+
 }  // namespace
 }  // namespace strat::bt

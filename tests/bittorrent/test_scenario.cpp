@@ -1,0 +1,127 @@
+// Scenario-engine tests: parallel replications must equal serial ones
+// bit for bit, the heterogeneous-slot helper must stay in bounds and
+// monotone, and the multi-swarm layout must account for every peer.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+
+namespace strat::bt {
+namespace {
+
+SwarmScenario small_scenario() {
+  SwarmScenario scenario;
+  scenario.config.num_peers = 40;
+  scenario.config.seeds = 1;
+  scenario.config.num_pieces = 128;
+  scenario.config.piece_kb = 64.0;
+  scenario.config.neighbor_degree = 12.0;
+  scenario.config.initial_completion = 0.5;
+  scenario.upload_kbps = BandwidthModel::saroiu2002().representative_sample(40);
+  scenario.warmup_rounds = 5;
+  scenario.measure_rounds = 15;
+  return scenario;
+}
+
+void expect_same(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.completed_leechers, b.completed_leechers);
+  EXPECT_EQ(a.mean_completion_round, b.mean_completion_round);
+  EXPECT_EQ(a.mean_leech_kbps, b.mean_leech_kbps);
+  EXPECT_EQ(a.top_decile_kbps, b.top_decile_kbps);
+  EXPECT_EQ(a.bottom_decile_kbps, b.bottom_decile_kbps);
+  EXPECT_EQ(a.strat.reciprocated_pairs, b.strat.reciprocated_pairs);
+  EXPECT_EQ(a.strat.mean_normalized_offset, b.strat.mean_normalized_offset);
+  EXPECT_EQ(a.total_uploaded_kb, b.total_uploaded_kb);
+  EXPECT_EQ(a.total_downloaded_kb, b.total_downloaded_kb);
+}
+
+TEST(Scenario, RunIsDeterministicPerSeed) {
+  const SwarmScenario scenario = small_scenario();
+  expect_same(run_scenario(scenario, 5), run_scenario(scenario, 5));
+}
+
+TEST(Scenario, ParallelReplicationsMatchSerial) {
+  const SwarmScenario scenario = small_scenario();
+  const std::array<std::uint64_t, 6> seeds{1, 2, 3, 4, 5, 6};
+  const auto serial = run_replications(scenario, seeds, 1);
+  const auto parallel = run_replications(scenario, seeds, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) expect_same(serial[i], parallel[i]);
+  // Different seeds produce different runs.
+  EXPECT_NE(serial[0].total_uploaded_kb, serial[1].total_uploaded_kb);
+}
+
+TEST(Scenario, ResultAggregatesAreCoherent) {
+  const auto result = run_scenario(small_scenario(), 7);
+  EXPECT_GT(result.total_uploaded_kb, 0.0);
+  EXPECT_NEAR(result.total_uploaded_kb, result.total_downloaded_kb, 1e-6);
+  EXPECT_GT(result.mean_leech_kbps, 0.0);
+  // Stratified swarms download faster at the top of the capacity order.
+  EXPECT_GT(result.top_decile_kbps, result.bottom_decile_kbps);
+}
+
+TEST(Scenario, CapacityScaledSlotsBoundsAndMonotonicity) {
+  const std::vector<double> caps{50.0, 100.0, 400.0, 3000.0, 15000.0};
+  const auto slots = capacity_scaled_slots(caps, 1, 8);
+  ASSERT_EQ(slots.size(), caps.size());
+  EXPECT_EQ(slots.front(), 1u);
+  EXPECT_EQ(slots.back(), 8u);
+  for (std::size_t i = 1; i < slots.size(); ++i) EXPECT_GE(slots[i], slots[i - 1]);
+  // Uniform capacities collapse to the middle of the range.
+  const auto uniform = capacity_scaled_slots({100.0, 100.0, 100.0}, 2, 6);
+  for (const std::size_t s : uniform) EXPECT_EQ(s, 4u);
+  EXPECT_THROW(capacity_scaled_slots(caps, 0, 3), std::invalid_argument);
+  EXPECT_THROW(capacity_scaled_slots(caps, 5, 3), std::invalid_argument);
+  EXPECT_THROW(capacity_scaled_slots({0.0}, 1, 3), std::invalid_argument);
+}
+
+TEST(Scenario, HeterogeneousSlotsRunEndToEnd) {
+  SwarmScenario scenario = small_scenario();
+  scenario.config.tft_slots_per_peer =
+      capacity_scaled_slots(scenario.upload_kbps, 1, 6);
+  const auto result = run_scenario(scenario, 11);
+  EXPECT_GT(result.total_uploaded_kb, 0.0);
+  // Mismatched slot vector is rejected.
+  scenario.config.tft_slots_per_peer.pop_back();
+  EXPECT_THROW((void)run_scenario(scenario, 11), std::invalid_argument);
+}
+
+TEST(Scenario, MultiSwarmLayoutAccounting) {
+  MultiSwarmSpec spec;
+  spec.num_swarms = 3;
+  spec.peers_per_swarm = 20;
+  spec.overlap_fraction = 0.25;  // 5 shared between consecutive swarms
+  EXPECT_EQ(distinct_peer_count(spec), 20u + 15u + 15u);
+  spec.config.num_pieces = 64;
+  spec.config.piece_kb = 32.0;
+  spec.config.neighbor_degree = 8.0;
+  spec.config.initial_completion = 0.5;
+  spec.upload_kbps = BandwidthModel::saroiu2002().representative_sample(50);
+  spec.warmup_rounds = 3;
+  spec.measure_rounds = 10;
+
+  const auto serial = run_multi_swarm(spec, 17, 1);
+  ASSERT_EQ(serial.per_swarm.size(), 3u);
+  EXPECT_EQ(serial.single_home_peers + serial.multi_home_peers, 50u);
+  EXPECT_EQ(serial.multi_home_peers, 10u);  // two 5-peer overlaps
+  for (const auto& swarm : serial.per_swarm) {
+    EXPECT_GT(swarm.total_uploaded_kb, 0.0);
+    EXPECT_NEAR(swarm.total_uploaded_kb, swarm.total_downloaded_kb, 1e-6);
+  }
+
+  // Thread count must not change results.
+  const auto parallel = run_multi_swarm(spec, 17, 3);
+  EXPECT_EQ(serial.mean_single_home_kbps, parallel.mean_single_home_kbps);
+  EXPECT_EQ(serial.mean_multi_home_kbps, parallel.mean_multi_home_kbps);
+  for (std::size_t k = 0; k < 3; ++k) expect_same(serial.per_swarm[k], parallel.per_swarm[k]);
+
+  // Capacity mismatch is rejected.
+  spec.upload_kbps.pop_back();
+  EXPECT_THROW((void)run_multi_swarm(spec, 17, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strat::bt

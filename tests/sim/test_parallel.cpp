@@ -1,0 +1,52 @@
+// parallel_for contract: every index exactly once, any thread count,
+// exceptions surfaced on the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/parallel.hpp"
+
+namespace strat::sim {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    const std::size_t count = 257;
+    std::vector<std::atomic<int>> hits(count);
+    parallel_for(count, threads, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesDegenerateSizes) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(1, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  const auto boom = [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(parallel_for(8, 4, boom), std::runtime_error);
+  EXPECT_THROW(parallel_for(8, 1, boom), std::runtime_error);
+}
+
+TEST(ParallelFor, RecommendedThreadsIsPositive) {
+  EXPECT_GE(recommended_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace strat::sim
