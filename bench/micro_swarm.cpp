@@ -1,11 +1,15 @@
 // Microbenchmarks: swarm round throughput and its building blocks.
 //
-// BM_SwarmRound times the CSR data plane at 10^2..10^4 peers and
-// BM_SwarmRoundHuge at 10^5 (fixed iteration count: one round there is
-// itself a macro-workload). BM_ReferenceSwarmRound times the retained
-// map-based plane on the same configuration so the flat layout's
-// speedup stays a measured number — scripts/bench_all.sh snapshots the
-// whole file into BENCH_swarm.json.
+// BM_SwarmRound times the flat edge-slot data plane at 10^2..10^4
+// peers and BM_SwarmRoundHuge at 10^5 (fixed iteration count: one
+// round there is itself a macro-workload). BM_ReferenceSwarmRound
+// times the retained map-based plane on the same configuration so the
+// flat layout's speedup stays a measured number. BM_SwarmChurnRound
+// runs the same 5000-peer workload under replacement churn (the
+// paper's x/1000 regime through the dynamic overlay) — the
+// BM_SwarmRound/5000 ratio is the cost of churn, which the acceptance
+// bar keeps within 1.25x. scripts/bench_all.sh snapshots the whole
+// file into BENCH_swarm.json.
 #include <benchmark/benchmark.h>
 
 #include "bittorrent/bandwidth.hpp"
@@ -76,6 +80,34 @@ void BM_ReferenceSwarmRound(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceSwarmRound)->Arg(400)->Arg(5000)->Unit(benchmark::kMillisecond);
 
+// The dynamic overlay under replacement churn: every round first
+// applies the churn events (departures release slots, arrivals recycle
+// them, periodic re-announce), then runs the round. The argument is
+// the paper's x (events per 1000 peers per round).
+void BM_SwarmChurnRound(benchmark::State& state) {
+  constexpr std::size_t kPeers = 5000;
+  const auto x = static_cast<double>(state.range(0));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::Swarm swarm(round_config(kPeers), model.representative_sample(kPeers), rng);
+  bt::ChurnSpec spec;
+  spec.replacement_rate = bt::paper_replacement_rate(x, kPeers);
+  spec.arrival_completion = 0.5;
+  spec.reannounce_interval = 10;
+  bt::ChurnDriver<bt::Swarm> churn(spec, round_config(kPeers),
+                                   model.representative_sample(kPeers), rng);
+  churn.attach(swarm);
+  for (auto _ : state) {
+    churn.before_round(swarm);
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPeers));
+  state.counters["arrivals"] = static_cast<double>(swarm.arrivals());
+}
+BENCHMARK(BM_SwarmChurnRound)->Arg(1)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
 // Replication sweep throughput through the scenario engine; threads is
 // the second argument (1 = serial baseline).
 void BM_ScenarioReplications(benchmark::State& state) {
@@ -98,6 +130,36 @@ void BM_ScenarioReplications(benchmark::State& state) {
                           static_cast<std::int64_t>(replications));
 }
 BENCHMARK(BM_ScenarioReplications)
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Churned replication throughput: the same sweep with replacement
+// churn + re-announce active, so BENCH_swarm.json tracks open-system
+// scenario throughput across PRs too.
+void BM_ChurnScenarioReplications(benchmark::State& state) {
+  const auto replications = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  bt::SwarmScenario scenario;
+  scenario.config = round_config(200);
+  scenario.config.num_pieces = 256;
+  scenario.config.piece_kb = 256.0;
+  scenario.upload_kbps = bt::BandwidthModel::saroiu2002().representative_sample(200);
+  scenario.warmup_rounds = 5;
+  scenario.measure_rounds = 10;
+  scenario.churn.replacement_rate = bt::paper_replacement_rate(10.0, 200);
+  scenario.churn.arrival_completion = 0.5;
+  scenario.churn.reannounce_interval = 5;
+  std::vector<std::uint64_t> seeds(replications);
+  for (std::size_t i = 0; i < replications; ++i) seeds[i] = 2000 + i;
+  for (auto _ : state) {
+    const auto results = bt::run_replications(scenario, seeds, threads);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(replications));
+}
+BENCHMARK(BM_ChurnScenarioReplications)
     ->Args({4, 1})
     ->Args({4, 4})
     ->Unit(benchmark::kMillisecond);

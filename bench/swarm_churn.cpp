@@ -1,0 +1,156 @@
+// Scenario driver: churn rate vs. stratification (protocol-level
+// analogue of Figure 3).
+//
+// The paper shows (matching model, §3) that replacement churn at rate
+// x/1000 barely perturbs stratification until x grows large. This
+// driver replays that experiment through the protocol simulator: a
+// grid over the paper's x values, each point running replacement
+// churn at x events per 1000 peers per round through the dynamic
+// overlay (slot recycling + tracker re-announce), averaged over
+// parallel replications. A second table compares arrival processes
+// (closed swarm, Poisson arrivals with exponential lifetimes, one-shot
+// flash crowd) on the same population. Output: churn accounting,
+// completion progress, leech rates, stratification window metrics and
+// the measured wall-clock round time.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+/// Wall-clock ms per round of one serial scenario run.
+double time_ms_per_round(const strat::bt::SwarmScenario& scenario, std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = strat::bt::run_scenario(scenario, seed);
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  (void)result;
+  const auto rounds = static_cast<double>(scenario.warmup_rounds + scenario.measure_rounds);
+  return elapsed.count() / rounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv,
+                     {"peers", "reps", "warmup", "window", "threads", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 1000));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 15));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", static_cast<std::int64_t>(sim::recommended_threads())));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 47));
+
+  bench::banner(cli, "Churn rate vs. stratification, dynamic overlay (" +
+                         std::to_string(peers) + " peers, " + std::to_string(reps) +
+                         " replications, " + std::to_string(threads) + " threads)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  const std::vector<double> bw = model.representative_sample(peers);
+  std::vector<std::uint64_t> seeds(reps);
+  for (std::size_t i = 0; i < reps; ++i) seeds[i] = base_seed + i;
+
+  bt::SwarmScenario base;
+  base.config.num_peers = peers;
+  base.config.seeds = std::max<std::size_t>(1, peers / 1000);
+  base.config.num_pieces = 1024;
+  base.config.piece_kb = 1024.0;  // long-lived content: the window stays leecher-dominated
+  base.config.neighbor_degree = 25.0;
+  base.config.initial_completion = 0.5;
+  base.upload_kbps = bw;
+  base.warmup_rounds = warmup;
+  base.measure_rounds = window;
+
+  // --- Figure 3 analogue: replacement churn sweep ---------------------
+  sim::Table table({"x (per 1000/round)", "events/round", "arrivals", "departures",
+                    "completed", "mean leech kbps", "partner-rank corr", "mean |offset|/n",
+                    "availability cv", "ms/round"});
+  for (const double x : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    bt::SwarmScenario scenario = base;
+    scenario.churn.replacement_rate = bt::paper_replacement_rate(x, peers);
+    scenario.churn.arrival_completion = 0.5;  // stationary block repartition
+    scenario.churn.reannounce_interval = 10;
+    const double ms_per_round = time_ms_per_round(scenario, base_seed + 1000);
+    const auto results = bt::run_replications(scenario, seeds, threads);
+
+    double arrivals = 0.0;
+    double departures = 0.0;
+    double completed = 0.0;
+    double mean_kbps = 0.0;
+    double corr = 0.0;
+    double offset = 0.0;
+    double cv = 0.0;
+    for (const auto& r : results) {
+      arrivals += static_cast<double>(r.arrivals);
+      departures += static_cast<double>(r.departures);
+      completed += static_cast<double>(r.completed_leechers);
+      mean_kbps += r.mean_leech_kbps;
+      corr += r.strat.partner_rank_correlation;
+      offset += r.strat.mean_normalized_offset;
+      cv += r.availability_cv;
+    }
+    const auto n = static_cast<double>(results.size());
+    table.add_row({sim::fmt(x, 0), sim::fmt(scenario.churn.replacement_rate, 1),
+                   sim::fmt(arrivals / n, 0), sim::fmt(departures / n, 0),
+                   sim::fmt(completed / n, 0), sim::fmt(mean_kbps / n, 0),
+                   sim::fmt(corr / n, 3), sim::fmt(offset / n, 3), sim::fmt(cv / n, 3),
+                   sim::fmt(ms_per_round, 2)});
+  }
+  bench::emit(cli, table);
+  bench::out(cli) << "\n(the paper's Figure 3 claim at the protocol level: replacement churn\n"
+                     " at the x/1000 rates leaves TFT stratification largely intact — the\n"
+                     " recycled overlay keeps the acceptance graph G(n,d)-like, and the\n"
+                     " re-announce sweep repairs the degrees departures thin out)\n\n";
+
+  // --- Arrival processes: open-system workloads -----------------------
+  sim::Table processes({"arrival process", "arrivals", "departures", "live at end",
+                        "completed", "mean leech kbps", "partner-rank corr"});
+  for (const std::string mode : {"closed", "poisson+exp", "flash crowd"}) {
+    bt::SwarmScenario scenario = base;
+    scenario.churn.reannounce_interval = 10;
+    if (mode == "poisson+exp") {
+      scenario.churn.arrivals = bt::ChurnSpec::Arrivals::kPoisson;
+      scenario.churn.lifetime = bt::ChurnSpec::Lifetime::kExponential;
+      scenario.churn.lifetime_rounds = static_cast<double>(warmup + window);
+      // Little's law: arrivals at n/lifetime keep the population near n.
+      scenario.churn.arrival_rate =
+          static_cast<double>(peers) / scenario.churn.lifetime_rounds;
+    } else if (mode == "flash crowd") {
+      scenario.config.post_flashcrowd = false;  // everyone starts empty
+      scenario.churn.arrivals = bt::ChurnSpec::Arrivals::kFlashCrowd;
+      scenario.churn.flash_crowd_size = peers / 2;
+      scenario.churn.flash_crowd_round = warmup / 2;
+    }
+    const auto results = bt::run_replications(scenario, seeds, threads);
+    double arrivals = 0.0;
+    double departures = 0.0;
+    double live = 0.0;
+    double completed = 0.0;
+    double mean_kbps = 0.0;
+    double corr = 0.0;
+    for (const auto& r : results) {
+      arrivals += static_cast<double>(r.arrivals);
+      departures += static_cast<double>(r.departures);
+      live += static_cast<double>(r.live_peers);
+      completed += static_cast<double>(r.completed_leechers);
+      mean_kbps += r.mean_leech_kbps;
+      corr += r.strat.partner_rank_correlation;
+    }
+    const auto n = static_cast<double>(results.size());
+    processes.add_row({mode, sim::fmt(arrivals / n, 0), sim::fmt(departures / n, 0),
+                       sim::fmt(live / n, 0), sim::fmt(completed / n, 0),
+                       sim::fmt(mean_kbps / n, 0), sim::fmt(corr / n, 3)});
+  }
+  bench::emit(cli, processes);
+  bench::out(cli) << "\n(Poisson arrivals with exponential lifetimes hold a stationary open\n"
+                     " population; the flash crowd doubles the swarm mid-warm-up and the\n"
+                     " dynamic overlay absorbs it through recycled slots + re-announce)\n";
+  return 0;
+}

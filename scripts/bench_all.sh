@@ -26,14 +26,16 @@ for bin in "${build_dir}"/bench/*; do
   "${bin}" --csv > "${out_dir}/${name}.csv"
 done
 
-# Swarm data-plane timing baseline: flat CSR rounds at 10^2..10^4 peers
-# plus the retained map-based plane at the same sizes, as one JSON
-# snapshot (BENCH_swarm.json) for regression comparisons across PRs.
+# Swarm data-plane timing baseline: flat edge-slot rounds at
+# 10^2..10^4 peers, the retained map-based plane at the same sizes,
+# churned rounds at 5000 peers (dynamic-overlay cost) and the static +
+# churned replication throughput, as one JSON snapshot
+# (BENCH_swarm.json) for regression comparisons across PRs.
 micro_swarm="${build_dir}/bench/micro_swarm"
 if [[ -x "${micro_swarm}" ]]; then
   echo "== micro_swarm -> BENCH_swarm.json"
   "${micro_swarm}" \
-    --benchmark_filter='BM_SwarmRound/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*' \
+    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmChurnRound/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out_dir}/BENCH_swarm.json" \
     --benchmark_out_format=json > /dev/null

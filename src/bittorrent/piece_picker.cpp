@@ -48,40 +48,110 @@ void PiecePicker::remove_availability(PieceId piece) {
   --copies;
 }
 
+void PiecePicker::add_bitfield(const Bitfield& have) {
+  if (have.size() != availability_.size()) {
+    throw std::invalid_argument("PiecePicker::add_bitfield: size mismatch");
+  }
+  const std::span<const std::uint64_t> words = have.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t mask = words[w];
+    while (mask != 0) {
+      const auto piece =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+      ++availability_[piece];
+    }
+  }
+}
+
+void PiecePicker::remove_bitfield(const Bitfield& have) {
+  if (have.size() != availability_.size()) {
+    throw std::invalid_argument("PiecePicker::remove_bitfield: size mismatch");
+  }
+  const std::span<const std::uint64_t> words = have.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t mask = words[w];
+    while (mask != 0) {
+      const auto piece =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+      remove_availability(piece);
+    }
+  }
+}
+
 std::uint32_t PiecePicker::availability(PieceId piece) const { return availability_.at(piece); }
+
+namespace {
+
+/// Two-pass rarest-first over the candidate words (remote \ local,
+/// minus an optional exclusion mask): pass 1 finds the minimum
+/// availability and the tie count without touching the RNG, one draw
+/// picks the winner's index, pass 2 walks to it. Exactly uniform over
+/// the ties, and orders of magnitude fewer RNG calls than per-tie
+/// reservoir sampling — this is the swarm simulator's hottest loop.
+template <typename WordFn>
+std::optional<PieceId> pick_rarest_masked(const std::vector<std::uint32_t>& availability,
+                                          std::size_t words, WordFn&& candidate_word,
+                                          graph::Rng& rng) {
+  std::uint32_t best_avail = 0;
+  std::uint64_t ties = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t mask = candidate_word(w);
+    while (mask != 0) {
+      const auto piece =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+      const std::uint32_t avail = availability[piece];
+      if (ties == 0 || avail < best_avail) {
+        best_avail = avail;
+        ties = 1;
+      } else if (avail == best_avail) {
+        ++ties;
+      }
+    }
+  }
+  if (ties == 0) return std::nullopt;
+  std::uint64_t k = ties == 1 ? 0 : rng.below(ties);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t mask = candidate_word(w);
+    while (mask != 0) {
+      const auto piece =
+          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+      if (availability[piece] == best_avail) {
+        if (k == 0) return piece;
+        --k;
+      }
+    }
+  }
+  return std::nullopt;  // unreachable: pass 2 revisits pass 1's candidates
+}
+
+}  // namespace
 
 std::optional<PieceId> PiecePicker::pick_rarest(const Bitfield& local, const Bitfield& remote,
                                                 graph::Rng& rng) const {
   if (local.size() != remote.size() || local.size() != availability_.size()) {
     throw std::invalid_argument("PiecePicker::pick_rarest: size mismatch");
   }
-  // Candidates are remote \ local; walking the set bits of the masked
-  // words visits them in ascending piece order while skipping
-  // everything else — this is the swarm simulator's hottest loop.
   const std::span<const std::uint64_t> lw = local.words();
   const std::span<const std::uint64_t> rw = remote.words();
-  std::optional<PieceId> best;
-  std::uint32_t best_avail = 0;
-  std::uint64_t ties = 0;
-  for (std::size_t w = 0; w < rw.size(); ++w) {
-    std::uint64_t mask = rw[w] & ~lw[w];
-    while (mask != 0) {
-      const auto piece =
-          static_cast<PieceId>(w * 64 + static_cast<std::size_t>(std::countr_zero(mask)));
-      mask &= mask - 1;
-      const std::uint32_t avail = availability_[piece];
-      if (!best || avail < best_avail) {
-        best = piece;
-        best_avail = avail;
-        ties = 1;
-      } else if (avail == best_avail) {
-        // Reservoir-style uniform tie-breaking.
-        ++ties;
-        if (rng.below(ties) == 0) best = piece;
-      }
-    }
+  return pick_rarest_masked(
+      availability_, rw.size(), [&](std::size_t w) { return rw[w] & ~lw[w]; }, rng);
+}
+
+std::optional<PieceId> PiecePicker::pick_rarest(const Bitfield& local, const Bitfield& remote,
+                                                const Bitfield& excluded, graph::Rng& rng) const {
+  if (local.size() != remote.size() || local.size() != availability_.size() ||
+      excluded.size() != local.size()) {
+    throw std::invalid_argument("PiecePicker::pick_rarest: size mismatch");
   }
-  return best;
+  const std::span<const std::uint64_t> lw = local.words();
+  const std::span<const std::uint64_t> rw = remote.words();
+  const std::span<const std::uint64_t> ew = excluded.words();
+  return pick_rarest_masked(
+      availability_, rw.size(), [&](std::size_t w) { return rw[w] & ~lw[w] & ~ew[w]; }, rng);
 }
 
 }  // namespace strat::bt

@@ -60,6 +60,14 @@ class PiecePicker {
   /// std::logic_error if the availability is already zero.
   void remove_availability(PieceId piece);
 
+  /// Registers every piece of a joining peer's (partial) bitfield.
+  /// Throws std::invalid_argument on a size mismatch.
+  void add_bitfield(const Bitfield& have);
+
+  /// Drops every piece of a departing peer's bitfield. Throws
+  /// std::logic_error if any counter is already zero.
+  void remove_bitfield(const Bitfield& have);
+
   /// Number of holders of `piece`.
   [[nodiscard]] std::uint32_t availability(PieceId piece) const;
 
@@ -67,6 +75,14 @@ class PiecePicker {
   /// broken uniformly at random. nullopt when the remote has nothing
   /// useful. O(num_pieces).
   [[nodiscard]] std::optional<PieceId> pick_rarest(const Bitfield& local, const Bitfield& remote,
+                                                   graph::Rng& rng) const;
+
+  /// pick_rarest restricted to pieces outside `excluded` — the
+  /// non-endgame request discipline (don't target a piece another
+  /// neighbor is already delivering). Same tie-breaking RNG consumption
+  /// for a given candidate set as the unrestricted overload.
+  [[nodiscard]] std::optional<PieceId> pick_rarest(const Bitfield& local, const Bitfield& remote,
+                                                   const Bitfield& excluded,
                                                    graph::Rng& rng) const;
 
  private:

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 #include "graph/erdos_renyi.hpp"
@@ -15,6 +14,7 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
     : config_(config),
       rng_(rng),
       picker_(config.num_pieces),
+      reserved_scratch_(config.num_pieces),
       leechers_(config.num_peers) {
   if (upload_kbps.size() != config.num_peers) {
     throw std::invalid_argument("ReferenceSwarm: one upload capacity per leecher required");
@@ -49,6 +49,12 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
   partial_.resize(total);
   inflight_.resize(total);
   departed_.assign(total, false);
+  live_ids_.reserve(total);
+  live_ix_.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    live_ids_.push_back(static_cast<core::PeerId>(p));
+    live_ix_.push_back(p);
+  }
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -77,20 +83,79 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
       stats_[p].pieces = have_[p].count();
       if (have_[p].complete()) {
         stats_[p].completion_round = 0.0;
-        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p));
+        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p), 0.0);
       }
     }
   }
-  std::vector<core::PeerId> order(leechers_);
-  std::iota(order.begin(), order.end(), core::PeerId{0});
-  std::sort(order.begin(), order.end(), [&](core::PeerId a, core::PeerId b) {
-    if (stats_[a].upload_kbps != stats_[b].upload_kbps) {
-      return stats_[a].upload_kbps > stats_[b].upload_kbps;
-    }
-    return a < b;
-  });
-  bandwidth_rank_.assign(leechers_, 0);
-  for (std::size_t r = 0; r < order.size(); ++r) bandwidth_rank_[order[r]] = r;
+  leechers_ = detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
+}
+
+std::size_t ReferenceSwarm::target_degree() const {
+  return static_cast<std::size_t>(std::llround(config_.neighbor_degree));
+}
+
+std::size_t ReferenceSwarm::connect_random_live(core::PeerId p, std::size_t need) {
+  const std::size_t made = detail::announce_connect(
+      live_ids_, departed_, stats_.size(), p, need, rng_,
+      [&](core::PeerId q) { return overlay_.has_edge(p, q); },
+      [&](core::PeerId q) { overlay_.add_edge(p, q); });
+  // finalize() re-sorts every adjacency list, not just the touched
+  // rows — O(|V|) per join/re-announce. Acceptable at the oracle scale
+  // this plane runs at; the flat plane's sorted inserts are the fast
+  // path.
+  overlay_.finalize();
+  return made;
+}
+
+core::PeerId ReferenceSwarm::join(double upload_kbps, const Bitfield& have) {
+  if (have.size() != config_.num_pieces) {
+    throw std::invalid_argument("ReferenceSwarm::join: bitfield size mismatch");
+  }
+  if (upload_kbps <= 0.0) {
+    throw std::invalid_argument("ReferenceSwarm::join: capacity must be positive");
+  }
+  const core::PeerId p = overlay_.grow(1);
+  stats_.emplace_back();
+  stats_[p].upload_kbps = upload_kbps;
+  stats_[p].join_round = static_cast<double>(round_);
+  stats_[p].pieces = have.count();
+  have_.push_back(have);
+  picker_.add_bitfield(have);
+  chokers_.emplace_back(config_.tft_slots, config_.optimistic_rounds);
+  unchoked_.emplace_back();
+  received_rate_.emplace_back();
+  received_now_.emplace_back();
+  sent_rate_.emplace_back();
+  sent_now_.emplace_back();
+  partial_.emplace_back();
+  inflight_.emplace_back();
+  departed_.push_back(false);
+  detail::live_insert(live_ids_, live_ix_, stats_.size(), p);
+  ++arrivals_;
+  connect_random_live(p, target_degree());
+  ++leechers_;
+  ranks_dirty_ = true;
+  if (have_[p].complete()) {
+    stats_[p].completion_round = static_cast<double>(round_);
+    if (!config_.stay_as_seed) depart_peer(p, static_cast<double>(round_));
+  }
+  return p;
+}
+
+core::PeerId ReferenceSwarm::join(double upload_kbps) {
+  return join(upload_kbps, Bitfield(config_.num_pieces));
+}
+
+void ReferenceSwarm::leave(core::PeerId p) {
+  if (departed_.at(p)) return;
+  depart_peer(p, static_cast<double>(round_));
+}
+
+std::size_t ReferenceSwarm::reannounce(core::PeerId p) {
+  if (departed_.at(p)) return 0;
+  const std::size_t target = target_degree();
+  if (overlay_.degree(p) >= target) return 0;
+  return connect_random_live(p, target - overlay_.degree(p));
 }
 
 bool ReferenceSwarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
@@ -106,13 +171,15 @@ void ReferenceSwarm::choke_step() {
     std::vector<ChokeCandidate> candidates;
     const auto nbrs = overlay_.neighbors(p);
     candidates.reserve(nbrs.size());
+    const bool serve_fastest = stats_[p].seed || have_[p].complete();
+    // Departed peers are isolated from the overlay, so every neighbor
+    // is a candidate (same invariant as the flat plane's rows).
     for (graph::Vertex vq : nbrs) {
       const auto q = static_cast<core::PeerId>(vq);
-      if (departed_[q]) continue;
       ChokeCandidate c;
       c.peer = q;
       c.interested = wants_from(q, p);
-      if (stats_[p].seed || have_[p].complete()) {
+      if (serve_fastest) {
         auto it = sent_rate_[p].find(q);
         c.score = it == sent_rate_[p].end() ? 0.0 : it->second;
       } else {
@@ -125,24 +192,68 @@ void ReferenceSwarm::choke_step() {
   }
 }
 
+void ReferenceSwarm::count_incoming_unchokes() {
+  detail::count_incoming_unchokes(unchoked_, incoming_unchokes_);
+}
+
+std::optional<PieceId> ReferenceSwarm::pick_for(core::PeerId q, core::PeerId p) {
+  if (config_.endgame) {
+    const std::size_t missing = config_.num_pieces - stats_[q].pieces;
+    if (missing >= incoming_unchokes_[q]) {
+      for (const PieceId piece : reserved_list_) reserved_scratch_.reset(piece);
+      reserved_list_.clear();
+      // Map iteration order is irrelevant: the exclusion set is a
+      // bitfield, identical to the flat plane's slot scan.
+      for (const auto& [sender, t] : inflight_[q]) {
+        if (sender == p) continue;
+        if (t != kNoPiece && !have_[q].test(t)) {
+          reserved_scratch_.set(t);
+          reserved_list_.push_back(t);
+        }
+      }
+      return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng_);
+    }
+  }
+  return picker_.pick_rarest(have_[q], have_[p], rng_);
+}
+
 void ReferenceSwarm::complete_piece(core::PeerId p, PieceId piece) {
   have_[p].set(piece);
   picker_.add_availability(piece);
   stats_[p].pieces = have_[p].count();
   if (have_[p].complete() && stats_[p].completion_round < 0.0) {
     stats_[p].completion_round = static_cast<double>(round_ + 1);
-    if (!config_.stay_as_seed && !stats_[p].seed) depart_peer(p);
+    if (!config_.stay_as_seed && !stats_[p].seed) {
+      depart_peer(p, static_cast<double>(round_ + 1));
+    }
   }
 }
 
-void ReferenceSwarm::depart_peer(core::PeerId p) {
+void ReferenceSwarm::depart_peer(core::PeerId p, double when) {
   departed_[p] = true;
-  for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
-    if (have_[p].test(piece)) picker_.remove_availability(piece);
-  }
+  stats_[p].leave_round = when;
+  detail::live_remove(live_ids_, live_ix_, p);
+  ++departures_;
+  picker_.remove_bitfield(have_[p]);
   partial_[p].clear();
   inflight_[p].clear();
   unchoked_[p].clear();
+  // Release per-edge state on both sides, mirroring the flat plane's
+  // slot recycling (the mutual_rounds_ map keeps the pair history —
+  // that's the retired-record analogue).
+  for (graph::Vertex vq : overlay_.neighbors(p)) {
+    const auto q = static_cast<core::PeerId>(vq);
+    received_rate_[q].erase(p);
+    received_now_[q].erase(p);
+    sent_rate_[q].erase(p);
+    sent_now_[q].erase(p);
+    inflight_[q].erase(p);
+  }
+  received_rate_[p].clear();
+  received_now_[p].clear();
+  sent_rate_[p].clear();
+  sent_now_[p].clear();
+  overlay_.isolate(p);
 }
 
 double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
@@ -154,7 +265,7 @@ double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
         have_[p].test(locked->second)) {
       target = locked->second;
     } else {
-      const auto pick = picker_.pick_rarest(have_[q], have_[p], rng_);
+      const auto pick = pick_for(q, p);
       if (!pick) break;
       target = *pick;
       inflight_[q][p] = target;
@@ -186,27 +297,19 @@ void ReferenceSwarm::transfer_step() {
       if (wants_from(q, p)) hungry.push_back(q);
     }
     if (hungry.empty()) continue;
-    double leftover = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
-    while (leftover > kBudgetEpsilon && !hungry.empty()) {
-      const double share = leftover / static_cast<double>(hungry.size());
-      leftover = 0.0;
-      next_hungry.clear();
-      for (core::PeerId q : hungry) {
-        const double spent = send_to(p, q, share);
-        if (spent >= share - kBudgetEpsilon) next_hungry.push_back(q);
-        leftover += share - spent;
-      }
-      hungry.swap(next_hungry);
-    }
+    const double budget = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+    detail::redistribute_upload(budget, hungry, next_hungry,
+                                [&](core::PeerId q, double share) { return send_to(p, q, share); });
   }
 }
 
 void ReferenceSwarm::run_round() {
   choke_step();
-  for (core::PeerId p = 0; p < leechers_; ++p) {
-    if (have_[p].complete()) continue;
+  if (config_.endgame) count_incoming_unchokes();
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (!is_leecher(p) || have_[p].complete()) continue;
     for (core::PeerId q : unchoked_[p]) {
-      if (q <= p || q >= leechers_ || have_[q].complete()) continue;
+      if (q <= p || !is_leecher(q) || have_[q].complete()) continue;
       const auto& back = unchoked_[q];
       if (std::find(back.begin(), back.end(), p) != back.end()) {
         const std::uint64_t key = (static_cast<std::uint64_t>(p) << 32) | q;
@@ -240,16 +343,18 @@ void ReferenceSwarm::run(std::size_t rounds) {
 
 std::size_t ReferenceSwarm::completed_leechers() const {
   std::size_t done = 0;
-  for (std::size_t p = 0; p < leechers_; ++p) {
-    if (have_[p].complete()) ++done;
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (is_leecher(p) && have_[p].complete()) ++done;
   }
   return done;
 }
 
 double ReferenceSwarm::leech_download_kbps(core::PeerId p) const {
   const PeerStats& s = stats_.at(p);
-  const double rounds =
-      s.completion_round >= 0.0 ? s.completion_round : static_cast<double>(round_);
+  const double end = s.completion_round >= 0.0
+                         ? s.completion_round
+                         : (s.leave_round >= 0.0 ? s.leave_round : static_cast<double>(round_));
+  const double rounds = end - s.join_round;
   if (rounds <= 0.0) return 0.0;
   return s.downloaded_kb * 8.0 / (rounds * config_.round_seconds);
 }
@@ -276,21 +381,28 @@ Swarm::AvailabilityStats ReferenceSwarm::availability_stats() const {
   return out;
 }
 
+void ReferenceSwarm::refresh_ranks() const {
+  if (!ranks_dirty_) return;
+  detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
+  ranks_dirty_ = false;
+}
+
 StratificationReport ReferenceSwarm::stratification() const {
+  refresh_ranks();
   StratificationReport report;
   report.reciprocated_pairs = mutual_rounds_.size();
   if (mutual_rounds_.empty() || leechers_ < 3) return report;
 
   // Iterate pairs in sorted (p, q) order so the floating-point
-  // accumulation order matches the CSR implementation exactly.
+  // accumulation order matches the flat implementation exactly.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> sorted(mutual_rounds_.begin(),
                                                               mutual_rounds_.end());
   std::sort(sorted.begin(), sorted.end());
 
   double offset_sum = 0.0;
   double weight_sum = 0.0;
-  std::vector<double> partner_rank_sum(leechers_, 0.0);
-  std::vector<double> partner_weight(leechers_, 0.0);
+  std::vector<double> partner_rank_sum(stats_.size(), 0.0);
+  std::vector<double> partner_weight(stats_.size(), 0.0);
   for (const auto& [key, rounds] : sorted) {
     const auto a = static_cast<core::PeerId>(key >> 32);
     const auto b = static_cast<core::PeerId>(key & 0xFFFFFFFFu);
@@ -308,7 +420,7 @@ StratificationReport ReferenceSwarm::stratification() const {
 
   std::vector<double> own;
   std::vector<double> partner;
-  for (std::size_t p = 0; p < leechers_; ++p) {
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
     if (partner_weight[p] == 0.0) continue;
     own.push_back(static_cast<double>(bandwidth_rank_[p]));
     partner.push_back(partner_rank_sum[p] / partner_weight[p]);

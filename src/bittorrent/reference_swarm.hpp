@@ -1,21 +1,27 @@
 // The retained map-based swarm data plane.
 //
 // This is the original per-neighbor `unordered_map` implementation of
-// the round-based simulator (with the same state-bug fixes as the CSR
-// rewrite: departure availability decrements, construction-complete
-// leechers, and upload-budget redistribution). It exists for two jobs:
+// the round-based simulator, extended with the same dynamic-overlay
+// operations as the slot-recycling rewrite (join/leave/re-announce,
+// endgame request discipline). It exists for two jobs:
 //
 //  1. Differential testing — a fixed-seed single-threaded run of
 //     ReferenceSwarm and Swarm must produce bitwise-identical PeerStats
-//     and stratification output (tests/bittorrent/test_swarm_invariants).
-//  2. Benchmarking — micro_swarm times both planes so the CSR layout's
-//     speedup at n = 5000+ stays measured, not assumed.
+//     and stratification output, churned runs included
+//     (tests/bittorrent/test_swarm_invariants, test_swarm_churn).
+//  2. Benchmarking — micro_swarm times both planes so the flat
+//     layout's speedup at n = 5000+ stays measured, not assumed.
 //
 // Keep the two implementations' per-round operation and RNG-consumption
 // order in lockstep; any intentional behavior change must land in both.
+// Overlay mutations here go through graph::Graph (grow/add_edge/
+// isolate + finalize), whose sorted adjacency matches the flat plane's
+// sorted rows, so choke candidate order — and therefore every RNG
+// draw — stays aligned.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -36,9 +42,20 @@ class ReferenceSwarm {
   void run_round();
   void run(std::size_t rounds);
 
+  /// Dynamic-overlay operations, mirroring Swarm.
+  core::PeerId join(double upload_kbps, const Bitfield& have);
+  core::PeerId join(double upload_kbps);
+  void leave(core::PeerId p);
+  std::size_t reannounce(core::PeerId p);
+
   [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
   [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
   [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
+  [[nodiscard]] bool is_leecher(core::PeerId p) const { return !stats_.at(p).seed; }
+  [[nodiscard]] std::size_t live_peer_count() const noexcept { return live_ids_.size(); }
+  [[nodiscard]] std::size_t arrivals() const noexcept { return arrivals_; }
+  [[nodiscard]] std::size_t departures() const noexcept { return departures_; }
+  [[nodiscard]] std::size_t degree(core::PeerId p) const { return overlay_.degree(p); }
   [[nodiscard]] std::size_t completed_leechers() const;
   [[nodiscard]] double leech_download_kbps(core::PeerId p) const;
   [[nodiscard]] StratificationReport stratification() const;
@@ -48,11 +65,16 @@ class ReferenceSwarm {
 
  private:
   void choke_step();
+  void count_incoming_unchokes();
   void transfer_step();
   double send_to(core::PeerId p, core::PeerId q, double budget);
+  [[nodiscard]] std::optional<PieceId> pick_for(core::PeerId q, core::PeerId p);
   void complete_piece(core::PeerId p, PieceId piece);
-  void depart_peer(core::PeerId p);
+  void depart_peer(core::PeerId p, double when);
   [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
+  [[nodiscard]] std::size_t target_degree() const;
+  std::size_t connect_random_live(core::PeerId p, std::size_t need);
+  void refresh_ranks() const;
 
   SwarmConfig config_;
   graph::Rng& rng_;
@@ -68,12 +90,26 @@ class ReferenceSwarm {
   std::vector<std::unordered_map<core::PeerId, double>> sent_now_;
   std::vector<std::unordered_map<PieceId, double>> partial_;
   std::vector<std::unordered_map<core::PeerId, PieceId>> inflight_;
-  std::vector<std::size_t> bandwidth_rank_;
+  std::vector<std::uint32_t> incoming_unchokes_;
+  Bitfield reserved_scratch_;
+  std::vector<PieceId> reserved_list_;
+  // Lazily rebuilt on read, like the flat plane (derived state — no
+  // RNG involved, so laziness cannot break lockstep).
+  mutable std::vector<std::size_t> bandwidth_rank_;
+  mutable bool ranks_dirty_ = false;
   std::vector<bool> departed_;
-  // key = (min id << 32) | max id.
+  // key = (min id << 32) | max id. Entries persist across departures —
+  // the map-per-pair analogue of the flat plane's retired records.
   std::unordered_map<std::uint64_t, std::uint32_t> mutual_rounds_;
+  // Dense live-peer list for uniform announce sampling (swap-remove on
+  // departure) — kept operation-for-operation identical to the flat
+  // plane's so rejection sampling consumes the same RNG draws.
+  std::vector<core::PeerId> live_ids_;
+  std::vector<std::size_t> live_ix_;
   std::size_t round_ = 0;
-  std::size_t leechers_ = 0;
+  std::size_t leechers_ = 0;  // leechers ever (initial + arrivals)
+  std::size_t arrivals_ = 0;
+  std::size_t departures_ = 0;
 };
 
 }  // namespace strat::bt

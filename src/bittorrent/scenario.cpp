@@ -15,33 +15,27 @@ namespace {
 // multi-swarm run draw independent streams from one scenario seed.
 constexpr std::uint64_t kSwarmSeedStride = 0x9E3779B97F4A7C15ULL;
 
-/// Leecher indices sorted by capacity descending (ties by id) — the
-/// ranking convention of the efficiency model.
-std::vector<std::size_t> capacity_order(const std::vector<double>& upload_kbps) {
-  std::vector<std::size_t> order(upload_kbps.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (upload_kbps[a] != upload_kbps[b]) return upload_kbps[a] > upload_kbps[b];
-    return a < b;
-  });
-  return order;
-}
-
-ScenarioResult summarize(const Swarm& swarm, const std::vector<double>& upload_kbps,
-                         std::uint64_t seed) {
+ScenarioResult summarize(const Swarm& swarm, std::uint64_t seed) {
   ScenarioResult out;
   out.seed = seed;
-  const std::size_t leechers = upload_kbps.size();
   out.completed_leechers = swarm.completed_leechers();
+
+  // Every leecher that ever joined (initial population + arrivals),
+  // with capacities read back from the swarm.
+  std::vector<core::PeerId> leechers;
+  leechers.reserve(swarm.peer_count());
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+    if (swarm.is_leecher(p)) leechers.push_back(p);
+  }
 
   double completion_sum = 0.0;
   std::size_t completion_count = 0;
   double rate_sum = 0.0;
-  std::vector<double> rates(leechers, 0.0);
-  for (std::size_t p = 0; p < leechers; ++p) {
-    const auto id = static_cast<core::PeerId>(p);
-    rates[p] = swarm.leech_download_kbps(id);
-    rate_sum += rates[p];
+  std::vector<double> rates(leechers.size(), 0.0);
+  for (std::size_t i = 0; i < leechers.size(); ++i) {
+    const core::PeerId id = leechers[i];
+    rates[i] = swarm.leech_download_kbps(id);
+    rate_sum += rates[i];
     const double done = swarm.stats(id).completion_round;
     if (done >= 0.0) {
       completion_sum += done;
@@ -50,18 +44,30 @@ ScenarioResult summarize(const Swarm& swarm, const std::vector<double>& upload_k
   }
   out.mean_completion_round =
       completion_count == 0 ? 0.0 : completion_sum / static_cast<double>(completion_count);
-  out.mean_leech_kbps = leechers == 0 ? 0.0 : rate_sum / static_cast<double>(leechers);
+  out.mean_leech_kbps =
+      leechers.empty() ? 0.0 : rate_sum / static_cast<double>(leechers.size());
 
-  const std::vector<std::size_t> order = capacity_order(upload_kbps);
-  const std::size_t decile = std::max<std::size_t>(1, leechers / 10);
-  double top = 0.0;
-  double bottom = 0.0;
-  for (std::size_t i = 0; i < decile; ++i) {
-    top += rates[order[i]];
-    bottom += rates[order[leechers - 1 - i]];
+  if (!leechers.empty()) {
+    // Deciles by capacity descending (ties by id) — the ranking
+    // convention of the efficiency model.
+    std::vector<std::size_t> order(leechers.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ca = swarm.stats(leechers[a]).upload_kbps;
+      const double cb = swarm.stats(leechers[b]).upload_kbps;
+      if (ca != cb) return ca > cb;
+      return leechers[a] < leechers[b];
+    });
+    const std::size_t decile = std::max<std::size_t>(1, leechers.size() / 10);
+    double top = 0.0;
+    double bottom = 0.0;
+    for (std::size_t i = 0; i < decile; ++i) {
+      top += rates[order[i]];
+      bottom += rates[order[leechers.size() - 1 - i]];
+    }
+    out.top_decile_kbps = top / static_cast<double>(decile);
+    out.bottom_decile_kbps = bottom / static_cast<double>(decile);
   }
-  out.top_decile_kbps = top / static_cast<double>(decile);
-  out.bottom_decile_kbps = bottom / static_cast<double>(decile);
 
   out.strat = swarm.stratification();
   out.availability_cv = swarm.availability_stats().coefficient_of_variation;
@@ -69,6 +75,9 @@ ScenarioResult summarize(const Swarm& swarm, const std::vector<double>& upload_k
     out.total_uploaded_kb += swarm.stats(p).uploaded_kb;
     out.total_downloaded_kb += swarm.stats(p).downloaded_kb;
   }
+  out.arrivals = swarm.arrivals();
+  out.departures = swarm.departures();
+  out.live_peers = swarm.live_peer_count();
   return out;
 }
 
@@ -77,10 +86,27 @@ ScenarioResult summarize(const Swarm& swarm, const std::vector<double>& upload_k
 ScenarioResult run_scenario(const SwarmScenario& scenario, std::uint64_t seed) {
   graph::Rng rng(seed);
   Swarm swarm(scenario.config, scenario.upload_kbps, rng);
-  swarm.run(scenario.warmup_rounds);
+  if (!scenario.churn.active()) {
+    swarm.run(scenario.warmup_rounds);
+    swarm.reset_stratification();
+    swarm.run(scenario.measure_rounds);
+    return summarize(swarm, seed);
+  }
+  std::vector<double> pool = scenario.churn.arrival_upload_kbps.empty()
+                                 ? scenario.upload_kbps
+                                 : scenario.churn.arrival_upload_kbps;
+  ChurnDriver<Swarm> driver(scenario.churn, scenario.config, std::move(pool), rng);
+  driver.attach(swarm);
+  for (std::size_t r = 0; r < scenario.warmup_rounds; ++r) {
+    driver.before_round(swarm);
+    swarm.run_round();
+  }
   swarm.reset_stratification();
-  swarm.run(scenario.measure_rounds);
-  return summarize(swarm, scenario.upload_kbps, seed);
+  for (std::size_t r = 0; r < scenario.measure_rounds; ++r) {
+    driver.before_round(swarm);
+    swarm.run_round();
+  }
+  return summarize(swarm, seed);
 }
 
 std::vector<ScenarioResult> run_replications(const SwarmScenario& scenario,
@@ -175,7 +201,7 @@ MultiSwarmResult run_multi_swarm(const MultiSwarmSpec& spec, std::uint64_t seed,
     swarm.run(spec.warmup_rounds);
     swarm.reset_stratification();
     swarm.run(spec.measure_rounds);
-    out.per_swarm[k] = summarize(swarm, capacities, seed + kSwarmSeedStride * (k + 1));
+    out.per_swarm[k] = summarize(swarm, seed + kSwarmSeedStride * (k + 1));
     auto& rates = swarm_rates[k];
     rates.resize(spec.peers_per_swarm);
     for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {

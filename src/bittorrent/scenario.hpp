@@ -1,12 +1,24 @@
 // Scenario engine over the swarm simulator.
 //
-// A SwarmScenario bundles a SwarmConfig with a capacity assignment and a
-// warm-up/measurement schedule; run_scenario() executes one seeded run
-// and distills the aggregates the §6 validation cares about (completion,
-// leech-phase rates by capacity decile, stratification, availability
-// dispersion). run_replications() fans independent seeds out over a
-// thread pool (sim::parallel_for) — results are deterministic per seed
-// regardless of the thread count.
+// A SwarmScenario bundles a SwarmConfig with a capacity assignment, a
+// warm-up/measurement schedule and an optional churn schedule;
+// run_scenario() executes one seeded run and distills the aggregates
+// the §6 validation cares about (completion, leech-phase rates by
+// capacity decile, stratification, availability dispersion).
+// run_replications() fans independent seeds out over a thread pool
+// (sim::parallel_for) — results are deterministic per seed regardless
+// of the thread count.
+//
+// ChurnSpec + ChurnDriver turn the closed swarm into an open system:
+// they mirror core/churn.hpp's replacement/removal/arrival event
+// taxonomy (§3, Figure 3) at the protocol level. Arrivals follow a
+// Poisson process or a one-shot flash crowd; departures follow
+// exponential or fixed seedless lifetimes; replacement events keep the
+// population stationary at the paper's x/1000 rates; and a periodic
+// tracker re-announce sweep tops degrees back up as departures thin
+// the overlay. The driver is a template over the data plane so the
+// Swarm-vs-ReferenceSwarm differential tests replay identical churn
+// schedules through both.
 //
 // On top of single swarms, MultiSwarmSpec models peers split across
 // several overlapping swarms: a peer in k swarms divides its upload
@@ -17,25 +29,193 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "bittorrent/swarm.hpp"
+#include "graph/rng.hpp"
 
 namespace strat::bt {
+
+/// Protocol-level churn schedule (all rates are per round).
+struct ChurnSpec {
+  /// Arrival process for fresh leechers (empty bitfield unless
+  /// arrival_completion > 0).
+  enum class Arrivals { kNone, kPoisson, kFlashCrowd };
+  Arrivals arrivals = Arrivals::kNone;
+  double arrival_rate = 0.0;         // mean arrivals per round (Poisson)
+  std::size_t flash_crowd_size = 0;  // burst size (flash crowd)
+  std::size_t flash_crowd_round = 0; // burst round (flash crowd)
+
+  /// Seedless-departure lifetime model: a peer leaves once it has been
+  /// in the swarm this long, complete or not (initial seeds stay).
+  enum class Lifetime { kNone, kExponential, kFixed };
+  Lifetime lifetime = Lifetime::kNone;
+  double lifetime_rounds = 0.0;  // mean (exponential) or exact (fixed)
+
+  /// Replacement events per round (Poisson): one uniformly random live
+  /// leecher departs and one fresh leecher arrives, keeping the
+  /// population stationary — the paper's x/1000 churn regime.
+  double replacement_rate = 0.0;
+
+  /// Fraction of pieces an arrival already holds (independent
+  /// Bernoulli per piece), mirroring post_flashcrowd initialization.
+  double arrival_completion = 0.0;
+
+  /// Capacities handed to arrivals, cycled in order. Empty = cycle the
+  /// scenario's leecher capacity list.
+  std::vector<double> arrival_upload_kbps;
+
+  /// Rounds between tracker re-announce sweeps topping every live
+  /// peer's degree back up toward neighbor_degree (0 = arrivals only).
+  std::size_t reannounce_interval = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return arrivals != Arrivals::kNone || lifetime != Lifetime::kNone ||
+           replacement_rate > 0.0 || reannounce_interval > 0;
+  }
+};
+
+/// The paper's "x/1000" churn notation mapped to a per-round
+/// replacement rate: x events per 1000 peers per round.
+[[nodiscard]] inline double paper_replacement_rate(double x, std::size_t peers) {
+  return x * static_cast<double>(peers) / 1000.0;
+}
+
+/// Applies a ChurnSpec to a running swarm, one round at a time.
+/// Templated over the data plane (Swarm or ReferenceSwarm) so
+/// differential tests replay identical schedules through both: all
+/// randomness is drawn from `rng` — pass the same generator the swarm
+/// was constructed with, and two planes in lockstep stay in lockstep.
+template <typename SwarmT>
+class ChurnDriver {
+ public:
+  /// `arrival_pool` provides arrival capacities (cycled); required
+  /// whenever the spec can create arrivals.
+  ChurnDriver(const ChurnSpec& spec, const SwarmConfig& config, std::vector<double> arrival_pool,
+              graph::Rng& rng)
+      : spec_(spec), config_(config), pool_(std::move(arrival_pool)), rng_(rng) {
+    const bool needs_pool =
+        spec_.arrivals != ChurnSpec::Arrivals::kNone || spec_.replacement_rate > 0.0;
+    if (needs_pool && pool_.empty()) {
+      throw std::invalid_argument("ChurnDriver: arrival capacity pool required");
+    }
+  }
+
+  /// Call once, right after constructing the swarm: draws lifetimes
+  /// for the initial leecher population (id-ascending).
+  void attach(SwarmT& swarm) {
+    if (spec_.lifetime == ChurnSpec::Lifetime::kNone) return;
+    for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+      if (swarm.is_leecher(p) && !swarm.departed(p)) set_deadline(p, 0.0);
+    }
+  }
+
+  /// Applies this round's churn events; call immediately before each
+  /// run_round(). Event order is fixed (and therefore reproducible):
+  /// lifetime departures, replacement events, arrivals, re-announce.
+  void before_round(SwarmT& swarm) {
+    const std::size_t r = swarm.rounds_elapsed();
+    const auto now = static_cast<double>(r);
+    if (spec_.lifetime != ChurnSpec::Lifetime::kNone) {
+      for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+        if (!swarm.is_leecher(p) || swarm.departed(p)) continue;
+        if (deadline(p) <= now) swarm.leave(p);
+      }
+    }
+    if (spec_.replacement_rate > 0.0) {
+      const std::uint64_t events = rng_.poisson(spec_.replacement_rate);
+      if (events > 0) {
+        // One scan for the whole round, maintained incrementally per
+        // event (swap-remove keeps the pick uniform).
+        std::vector<core::PeerId> live;
+        live.reserve(swarm.peer_count());
+        for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+          if (swarm.is_leecher(p) && !swarm.departed(p)) live.push_back(p);
+        }
+        for (std::uint64_t e = 0; e < events; ++e) {
+          if (!live.empty()) {
+            const auto j = static_cast<std::size_t>(rng_.below(live.size()));
+            swarm.leave(live[j]);
+            live[j] = live.back();
+            live.pop_back();
+          }
+          const core::PeerId fresh = join_fresh(swarm, now);
+          // (a Bernoulli-complete arrival can depart on the spot)
+          if (!swarm.departed(fresh)) live.push_back(fresh);
+        }
+      }
+    }
+    std::size_t arriving = 0;
+    if (spec_.arrivals == ChurnSpec::Arrivals::kPoisson) {
+      arriving = static_cast<std::size_t>(rng_.poisson(spec_.arrival_rate));
+    } else if (spec_.arrivals == ChurnSpec::Arrivals::kFlashCrowd &&
+               r == spec_.flash_crowd_round) {
+      arriving = spec_.flash_crowd_size;
+    }
+    for (std::size_t i = 0; i < arriving; ++i) join_fresh(swarm, now);
+    if (spec_.reannounce_interval > 0 && r > 0 && r % spec_.reannounce_interval == 0) {
+      for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
+        if (!swarm.departed(p)) swarm.reannounce(p);
+      }
+    }
+  }
+
+ private:
+  core::PeerId join_fresh(SwarmT& swarm, double now) {
+    const double kbps = pool_[next_capacity_++ % pool_.size()];
+    Bitfield have(config_.num_pieces);
+    if (spec_.arrival_completion > 0.0) {
+      for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
+        if (rng_.bernoulli(spec_.arrival_completion)) have.set(piece);
+      }
+    }
+    const core::PeerId p = swarm.join(kbps, have);
+    set_deadline(p, now);
+    return p;
+  }
+
+  void set_deadline(core::PeerId p, double now) {
+    if (spec_.lifetime == ChurnSpec::Lifetime::kNone) return;
+    if (deadline_.size() <= p) {
+      deadline_.resize(p + 1, std::numeric_limits<double>::infinity());
+    }
+    const double life = spec_.lifetime == ChurnSpec::Lifetime::kFixed
+                            ? spec_.lifetime_rounds
+                            : rng_.exponential(spec_.lifetime_rounds);
+    deadline_[p] = now + life;
+  }
+
+  [[nodiscard]] double deadline(core::PeerId p) const {
+    return p < deadline_.size() ? deadline_[p] : std::numeric_limits<double>::infinity();
+  }
+
+  ChurnSpec spec_;
+  SwarmConfig config_;
+  std::vector<double> pool_;
+  graph::Rng& rng_;
+  std::vector<double> deadline_;
+  std::size_t next_capacity_ = 0;
+};
 
 /// One parameterized swarm experiment.
 struct SwarmScenario {
   SwarmConfig config;
-  /// One capacity per leecher (config.num_peers entries).
+  /// One capacity per initial leecher (config.num_peers entries).
   std::vector<double> upload_kbps;
   /// Rounds run before the stratification window opens (TFT lock-in).
   std::size_t warmup_rounds = 20;
   /// Rounds measured after the warm-up.
   std::size_t measure_rounds = 40;
+  /// Churn schedule applied across both phases (inert by default).
+  ChurnSpec churn;
 };
 
-/// Aggregates of one seeded scenario run.
+/// Aggregates of one seeded scenario run. Leecher aggregates cover
+/// every leecher that ever joined (initial population + arrivals).
 struct ScenarioResult {
   std::uint64_t seed = 0;
   std::size_t completed_leechers = 0;
@@ -50,9 +230,15 @@ struct ScenarioResult {
   double availability_cv = 0.0;
   double total_uploaded_kb = 0.0;
   double total_downloaded_kb = 0.0;
+  /// Churn accounting: join() arrivals, departures (voluntary and
+  /// completion-driven), and peers still present at the end.
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t live_peers = 0;
 };
 
-/// Runs one scenario with the given seed (warm-up, reset, measure).
+/// Runs one scenario with the given seed (warm-up, reset, measure),
+/// churn schedule included.
 [[nodiscard]] ScenarioResult run_scenario(const SwarmScenario& scenario, std::uint64_t seed);
 
 /// Runs one replication per seed, distributed over `threads` workers.

@@ -1,11 +1,10 @@
 #include "bittorrent/swarm.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 #include "graph/erdos_renyi.hpp"
+#include "graph/graph.hpp"
 #include "sim/stats.hpp"
 
 namespace strat::bt {
@@ -14,6 +13,7 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
     : config_(config),
       rng_(rng),
       picker_(config.num_pieces),
+      reserved_scratch_(config.num_pieces),
       leechers_(config.num_peers) {
   if (upload_kbps.size() != config.num_peers) {
     throw std::invalid_argument("Swarm: one upload capacity per leecher required");
@@ -30,25 +30,33 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
     throw std::invalid_argument("Swarm: tft_slots_per_peer needs one entry per leecher");
   }
   const std::size_t total = config.num_peers + config.seeds;
-  overlay_ = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
+  const graph::Graph overlay = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
 
-  // CSR mirror of the (finalized, sorted) overlay adjacency.
-  edge_offset_.assign(total + 1, 0);
+  // Ingest the (finalized, sorted) overlay adjacency into the slot
+  // pool, row-contiguous so a static run keeps CSR-like locality.
+  nbr_.resize(total);
+  nslot_.resize(total);
+  std::size_t slot_count = 0;
   for (std::size_t p = 0; p < total; ++p) {
-    edge_offset_[p + 1] = edge_offset_[p] + overlay_.degree(static_cast<graph::Vertex>(p));
+    slot_count += overlay.degree(static_cast<graph::Vertex>(p));
   }
-  edge_peer_.reserve(edge_offset_[total]);
+  edge_peer_.reserve(slot_count);
   for (std::size_t p = 0; p < total; ++p) {
-    for (graph::Vertex q : overlay_.neighbors(static_cast<graph::Vertex>(p))) {
-      edge_peer_.push_back(static_cast<core::PeerId>(q));
+    const auto nbrs = overlay.neighbors(static_cast<graph::Vertex>(p));
+    nbr_[p].assign(nbrs.begin(), nbrs.end());
+    nslot_[p].resize(nbrs.size());
+    for (std::size_t i = 0; i < nbr_[p].size(); ++i) {
+      nslot_[p][i] = edge_peer_.size();
+      edge_peer_.push_back(nbr_[p][i]);
     }
   }
   mirror_.resize(edge_peer_.size());
   for (std::size_t p = 0; p < total; ++p) {
-    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
-      mirror_[s] = slot_of(edge_peer_[s], static_cast<core::PeerId>(p));
+    for (std::size_t i = 0; i < nbr_[p].size(); ++i) {
+      mirror_[nslot_[p][i]] = slot_of(nbr_[p][i], static_cast<core::PeerId>(p));
     }
   }
+  slot_gen_.assign(edge_peer_.size(), 0);
   rate_in_.assign(edge_peer_.size(), 0.0);
   now_in_.assign(edge_peer_.size(), 0.0);
   rate_out_.assign(edge_peer_.size(), 0.0);
@@ -68,6 +76,12 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   unchoked_.resize(total);
   partial_.resize(total);
   departed_.assign(total, false);
+  live_ids_.reserve(total);
+  live_ix_.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    live_ids_.push_back(static_cast<core::PeerId>(p));
+    live_ix_.push_back(p);
+  }
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -101,28 +115,154 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
         // like a round-0 completion so it never divides by the full run
         // length in leech_download_kbps() and departs consistently.
         stats_[p].completion_round = 0.0;
-        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p));
+        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p), 0.0);
       }
     }
   }
-  // Bandwidth ranks over leechers (0 = fastest), ties by id.
-  std::vector<core::PeerId> order(leechers_);
-  std::iota(order.begin(), order.end(), core::PeerId{0});
-  std::sort(order.begin(), order.end(), [&](core::PeerId a, core::PeerId b) {
-    if (stats_[a].upload_kbps != stats_[b].upload_kbps) {
-      return stats_[a].upload_kbps > stats_[b].upload_kbps;
-    }
-    return a < b;
-  });
-  bandwidth_rank_.assign(leechers_, 0);
-  for (std::size_t r = 0; r < order.size(); ++r) bandwidth_rank_[order[r]] = r;
+  leechers_ = detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
 }
 
 std::size_t Swarm::slot_of(core::PeerId p, core::PeerId q) const {
-  const auto first = edge_peer_.begin() + static_cast<std::ptrdiff_t>(edge_offset_[p]);
-  const auto last = edge_peer_.begin() + static_cast<std::ptrdiff_t>(edge_offset_[p + 1]);
-  const auto it = std::lower_bound(first, last, q);
-  return static_cast<std::size_t>(it - edge_peer_.begin());
+  const auto& row = nbr_[p];
+  const auto it = std::lower_bound(row.begin(), row.end(), q);
+  return nslot_[p][static_cast<std::size_t>(it - row.begin())];
+}
+
+std::size_t Swarm::target_degree() const {
+  return static_cast<std::size_t>(std::llround(config_.neighbor_degree));
+}
+
+std::size_t Swarm::claim_slot() {
+  if (free_slots_.empty()) {
+    const std::size_t s = edge_peer_.size();
+    edge_peer_.push_back(0);
+    mirror_.push_back(0);
+    slot_gen_.push_back(0);
+    rate_in_.push_back(0.0);
+    now_in_.push_back(0.0);
+    rate_out_.push_back(0.0);
+    now_out_.push_back(0.0);
+    inflight_.push_back(kNoPiece);
+    mutual_rounds_.push_back(0);
+    return s;
+  }
+  const std::size_t s = free_slots_.back();
+  free_slots_.pop_back();
+  return s;
+}
+
+void Swarm::release_slot(std::size_t s) {
+  // edge_peer_/mirror_ go stale on purpose; the generation bump marks
+  // every outstanding reference to this slot as dead.
+  rate_in_[s] = 0.0;
+  now_in_[s] = 0.0;
+  rate_out_[s] = 0.0;
+  now_out_[s] = 0.0;
+  inflight_[s] = kNoPiece;
+  mutual_rounds_[s] = 0;
+  ++slot_gen_[s];
+  free_slots_.push_back(s);
+}
+
+void Swarm::connect(core::PeerId p, core::PeerId q) {
+  const std::size_t spq = claim_slot();
+  const std::size_t sqp = claim_slot();
+  edge_peer_[spq] = q;
+  edge_peer_[sqp] = p;
+  mirror_[spq] = sqp;
+  mirror_[sqp] = spq;
+  const auto insert_row = [this](core::PeerId owner, core::PeerId nb, std::size_t slot) {
+    auto& row = nbr_[owner];
+    const auto it = std::lower_bound(row.begin(), row.end(), nb);
+    const auto idx = it - row.begin();
+    row.insert(it, nb);
+    nslot_[owner].insert(nslot_[owner].begin() + idx, slot);
+  };
+  insert_row(p, q, spq);
+  insert_row(q, p, sqp);
+}
+
+void Swarm::flush_mutual(core::PeerId p, core::PeerId q, std::size_t slot_min) {
+  if (mutual_rounds_[slot_min] == 0) return;
+  const core::PeerId a = std::min(p, q);
+  const core::PeerId b = std::max(p, q);
+  retired_mutual_.emplace_back((static_cast<std::uint64_t>(a) << 32) | b,
+                               mutual_rounds_[slot_min]);
+  mutual_rounds_[slot_min] = 0;
+}
+
+void Swarm::release_all_edges(core::PeerId p) {
+  for (std::size_t i = 0; i < nbr_[p].size(); ++i) {
+    const core::PeerId q = nbr_[p][i];
+    const std::size_t spq = nslot_[p][i];
+    const std::size_t sqp = mirror_[spq];
+    flush_mutual(p, q, p < q ? spq : sqp);
+    release_slot(spq);
+    release_slot(sqp);
+    auto& qrow = nbr_[q];
+    const auto it = std::lower_bound(qrow.begin(), qrow.end(), p);
+    const auto idx = it - qrow.begin();
+    qrow.erase(it);
+    nslot_[q].erase(nslot_[q].begin() + idx);
+  }
+  nbr_[p].clear();
+  nslot_[p].clear();
+}
+
+std::size_t Swarm::connect_random_live(core::PeerId p, std::size_t need) {
+  return detail::announce_connect(
+      live_ids_, departed_, stats_.size(), p, need, rng_,
+      [&](core::PeerId q) {
+        return std::binary_search(nbr_[p].begin(), nbr_[p].end(), q);
+      },
+      [&](core::PeerId q) { connect(p, q); });
+}
+
+core::PeerId Swarm::join(double upload_kbps, const Bitfield& have) {
+  if (have.size() != config_.num_pieces) {
+    throw std::invalid_argument("Swarm::join: bitfield size mismatch");
+  }
+  if (upload_kbps <= 0.0) throw std::invalid_argument("Swarm::join: capacity must be positive");
+  const auto p = static_cast<core::PeerId>(stats_.size());
+  stats_.emplace_back();
+  stats_[p].upload_kbps = upload_kbps;
+  stats_[p].join_round = static_cast<double>(round_);
+  stats_[p].pieces = have.count();
+  have_.push_back(have);
+  picker_.add_bitfield(have);
+  chokers_.emplace_back(config_.tft_slots, config_.optimistic_rounds);
+  unchoked_.emplace_back();
+  partial_.emplace_back();
+  departed_.push_back(false);
+  nbr_.emplace_back();
+  nslot_.emplace_back();
+  detail::live_insert(live_ids_, live_ix_, stats_.size(), p);
+  ++arrivals_;
+  // Tracker announce: uniform picks from the live population.
+  connect_random_live(p, target_degree());
+  ++leechers_;
+  ranks_dirty_ = true;
+  if (have_[p].complete()) {
+    stats_[p].completion_round = static_cast<double>(round_);
+    if (!config_.stay_as_seed) depart_peer(p, static_cast<double>(round_));
+  }
+  return p;
+}
+
+core::PeerId Swarm::join(double upload_kbps) {
+  return join(upload_kbps, Bitfield(config_.num_pieces));
+}
+
+void Swarm::leave(core::PeerId p) {
+  if (departed_.at(p)) return;
+  depart_peer(p, static_cast<double>(round_));
+}
+
+std::size_t Swarm::reannounce(core::PeerId p) {
+  if (departed_.at(p)) return 0;
+  const std::size_t target = target_degree();
+  if (nbr_[p].size() >= target) return 0;
+  return connect_random_live(p, target - nbr_[p].size());
 }
 
 bool Swarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
@@ -135,30 +275,39 @@ void Swarm::choke_step() {
       unchoked_[p].clear();
       continue;
     }
+    const auto& row = nbr_[p];
+    const auto& slots = nslot_[p];
     std::vector<ChokeCandidate> candidates;
-    candidates.reserve(edge_offset_[p + 1] - edge_offset_[p]);
+    candidates.reserve(row.size());
     const bool serve_fastest = stats_[p].seed || have_[p].complete();
-    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
-      const core::PeerId q = edge_peer_[s];
-      if (departed_[q]) continue;
+    // Adjacency rows never contain departed peers (their edges were
+    // released), so every neighbor is a candidate.
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const core::PeerId q = row[i];
       ChokeCandidate c;
       c.peer = q;
       c.interested = wants_from(q, p);
       // Seed policy: serve the fastest downloaders.
-      c.score = serve_fastest ? rate_out_[s] : rate_in_[s];
+      c.score = serve_fastest ? rate_out_[slots[i]] : rate_in_[slots[i]];
       candidates.push_back(c);
     }
     unchoked_[p] = chokers_[p].select(std::move(candidates), rng_);
   }
 }
 
+void Swarm::count_incoming_unchokes() {
+  detail::count_incoming_unchokes(unchoked_, incoming_unchokes_);
+}
+
 void Swarm::record_mutual_unchokes() {
-  // Mutual unchokes among still-downloading leechers: these are the
-  // effective TFT collaborations the matching model describes.
-  for (core::PeerId p = 0; p < leechers_; ++p) {
-    if (have_[p].complete()) continue;
+  // Mutual unchokes among present, still-downloading leechers: these
+  // are the effective TFT collaborations the matching model describes.
+  // Departed peers have empty unchoke sets and released edges, so every
+  // counted round had both endpoints in the swarm.
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (!is_leecher(p) || have_[p].complete()) continue;
     for (core::PeerId q : unchoked_[p]) {
-      if (q <= p || q >= leechers_ || have_[q].complete()) continue;
+      if (q <= p || !is_leecher(q) || have_[q].complete()) continue;
       const auto& back = unchoked_[q];
       if (std::find(back.begin(), back.end(), p) != back.end()) {
         ++mutual_rounds_[slot_of(p, q)];
@@ -167,27 +316,54 @@ void Swarm::record_mutual_unchokes() {
   }
 }
 
+std::optional<PieceId> Swarm::pick_for(core::PeerId q, core::PeerId p, std::size_t slot_qp) {
+  if (config_.endgame) {
+    const std::size_t missing = config_.num_pieces - stats_[q].pieces;
+    if (missing >= incoming_unchokes_[q]) {
+      // Non-endgame phase: each sender gets a distinct missing piece —
+      // exclude pieces already in flight to q from other neighbors.
+      for (const PieceId piece : reserved_list_) reserved_scratch_.reset(piece);
+      reserved_list_.clear();
+      const auto& slots = nslot_[q];
+      for (const std::size_t s : slots) {
+        if (s == slot_qp) continue;
+        const PieceId t = inflight_[s];
+        if (t != kNoPiece && !have_[q].test(t)) {
+          reserved_scratch_.set(t);
+          reserved_list_.push_back(t);
+        }
+      }
+      return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng_);
+    }
+    // Endgame phase: the missing set is smaller than the receiver's
+    // inbound unchoke count — duplicate in-flight targets are allowed
+    // (first completion cancels the rest via the staleness re-pick).
+  }
+  return picker_.pick_rarest(have_[q], have_[p], rng_);
+}
+
 void Swarm::complete_piece(core::PeerId p, PieceId piece) {
   have_[p].set(piece);
   picker_.add_availability(piece);
   stats_[p].pieces = have_[p].count();
   if (have_[p].complete() && stats_[p].completion_round < 0.0) {
     stats_[p].completion_round = static_cast<double>(round_ + 1);
-    if (!config_.stay_as_seed && !stats_[p].seed) depart_peer(p);
+    if (!config_.stay_as_seed && !stats_[p].seed) {
+      depart_peer(p, static_cast<double>(round_ + 1));
+    }
   }
 }
 
-void Swarm::depart_peer(core::PeerId p) {
+void Swarm::depart_peer(core::PeerId p, double when) {
   departed_[p] = true;
+  stats_[p].leave_round = when;
+  detail::live_remove(live_ids_, live_ix_, p);
+  ++departures_;
   // Its copies leave the swarm: rarest-first must stop counting them.
-  for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
-    if (have_[p].test(piece)) picker_.remove_availability(piece);
-  }
+  picker_.remove_bitfield(have_[p]);
   partial_[p].clear();
-  for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
-    inflight_[s] = kNoPiece;
-  }
   unchoked_[p].clear();
+  release_all_edges(p);
 }
 
 double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget) {
@@ -198,7 +374,7 @@ double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, doubl
   while (remaining > 0.0) {
     PieceId target = inflight_[slot_qp];
     if (target == kNoPiece || have_[q].test(target) || !have_[p].test(target)) {
-      const auto pick = picker_.pick_rarest(have_[q], have_[p], rng_);
+      const auto pick = pick_for(q, p, slot_qp);
       if (!pick) break;
       target = *pick;
       inflight_[slot_qp] = target;
@@ -239,29 +415,20 @@ void Swarm::transfer_step() {
       if (wants_from(q, p)) hungry.emplace_back(q, slot_of(p, q));
     }
     if (hungry.empty()) continue;
-    // kbps -> KB per round. Split evenly across active transfers, then
-    // redistribute whatever a finished receiver left on the table among
-    // the ones still able to take data.
-    double leftover = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
-    while (leftover > kBudgetEpsilon && !hungry.empty()) {
-      const double share = leftover / static_cast<double>(hungry.size());
-      leftover = 0.0;
-      next_hungry.clear();
-      for (const auto& [q, slot] : hungry) {
-        const double spent = send_to(p, q, slot, share);
-        // A receiver that absorbed its whole share can take more; one
-        // that ran out of pickable pieces is dropped from this round.
-        if (spent >= share - kBudgetEpsilon) next_hungry.emplace_back(q, slot);
-        leftover += share - spent;
-      }
-      hungry.swap(next_hungry);
-    }
+    // kbps -> KB per round.
+    const double budget = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+    detail::redistribute_upload(budget, hungry, next_hungry,
+                                [&](const std::pair<core::PeerId, std::size_t>& item,
+                                    double share) {
+                                  return send_to(p, item.first, item.second, share);
+                                });
   }
 }
 
 void Swarm::fold_rates() {
   // Fold this round's transfers into the smoothed per-neighbor rates:
-  // one pass over every edge slot, no hashing.
+  // one pass over the whole slot pool, no hashing. Free slots are
+  // zeroed at release, so folding them is a no-op.
   const double alpha = config_.rate_smoothing;
   for (std::size_t s = 0; s < edge_peer_.size(); ++s) {
     rate_in_[s] = alpha * now_in_[s] + (1.0 - alpha) * rate_in_[s];
@@ -273,6 +440,7 @@ void Swarm::fold_rates() {
 
 void Swarm::run_round() {
   choke_step();
+  if (config_.endgame) count_incoming_unchokes();
   record_mutual_unchokes();
   transfer_step();
   fold_rates();
@@ -285,26 +453,31 @@ void Swarm::run(std::size_t rounds) {
 
 void Swarm::reset_stratification() {
   std::fill(mutual_rounds_.begin(), mutual_rounds_.end(), 0);
+  retired_mutual_.clear();
 }
 
 std::size_t Swarm::completed_leechers() const {
   std::size_t done = 0;
-  for (std::size_t p = 0; p < leechers_; ++p) {
-    if (have_[p].complete()) ++done;
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (is_leecher(p) && have_[p].complete()) ++done;
   }
   return done;
 }
 
 double Swarm::mean_download_kbps(core::PeerId p) const {
-  if (round_ == 0) return 0.0;
-  const double seconds = static_cast<double>(round_) * config_.round_seconds;
-  return stats_.at(p).downloaded_kb * 8.0 / seconds;
+  const PeerStats& s = stats_.at(p);
+  const double end = s.leave_round >= 0.0 ? s.leave_round : static_cast<double>(round_);
+  const double rounds = end - s.join_round;
+  if (rounds <= 0.0) return 0.0;
+  return s.downloaded_kb * 8.0 / (rounds * config_.round_seconds);
 }
 
 double Swarm::leech_download_kbps(core::PeerId p) const {
   const PeerStats& s = stats_.at(p);
-  const double rounds =
-      s.completion_round >= 0.0 ? s.completion_round : static_cast<double>(round_);
+  const double end = s.completion_round >= 0.0
+                         ? s.completion_round
+                         : (s.leave_round >= 0.0 ? s.leave_round : static_cast<double>(round_));
+  const double rounds = end - s.join_round;
   if (rounds <= 0.0) return 0.0;
   return s.downloaded_kb * 8.0 / (rounds * config_.round_seconds);
 }
@@ -331,11 +504,19 @@ Swarm::AvailabilityStats Swarm::availability_stats() const {
   return out;
 }
 
+void Swarm::refresh_ranks() const {
+  if (!ranks_dirty_) return;
+  detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
+  ranks_dirty_ = false;
+}
+
 std::vector<std::pair<core::PeerId, core::PeerId>> Swarm::reciprocated_pairs() const {
+  refresh_ranks();
   std::vector<std::pair<core::PeerId, core::PeerId>> pairs;
-  for (core::PeerId p = 0; p < leechers_; ++p) {
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (!is_leecher(p)) continue;
     for (core::PeerId q : unchoked_[p]) {
-      if (q >= leechers_ || q <= p) continue;
+      if (q <= p || !is_leecher(q)) continue;
       const auto& back = unchoked_[q];
       if (std::find(back.begin(), back.end(), p) != back.end()) {
         if (bandwidth_rank_[p] <= bandwidth_rank_[q]) {
@@ -350,34 +531,61 @@ std::vector<std::pair<core::PeerId, core::PeerId>> Swarm::reciprocated_pairs() c
 }
 
 StratificationReport Swarm::stratification() const {
+  refresh_ranks();
   StratificationReport report;
-  double offset_sum = 0.0;
-  double weight_sum = 0.0;
-  std::vector<double> partner_rank_sum(leechers_, 0.0);
-  std::vector<double> partner_weight(leechers_, 0.0);
-  // Slot order = (p ascending, q ascending): deterministic accumulation.
-  for (core::PeerId p = 0; p < leechers_; ++p) {
-    for (std::size_t s = edge_offset_[p]; s < edge_offset_[p + 1]; ++s) {
-      const core::PeerId q = edge_peer_[s];
-      if (q <= p || q >= leechers_ || mutual_rounds_[s] == 0) continue;
-      ++report.reciprocated_pairs;
-      const double w = static_cast<double>(mutual_rounds_[s]);
-      const double ra = static_cast<double>(bandwidth_rank_[p]);
-      const double rb = static_cast<double>(bandwidth_rank_[q]);
-      offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
-      weight_sum += w;
-      partner_rank_sum[p] += w * rb;
-      partner_weight[p] += w;
-      partner_rank_sum[q] += w * ra;
-      partner_weight[q] += w;
+  // Collect every pair's accumulated rounds: live slots plus the
+  // retired records of released edges, merged per pair so a
+  // disconnected-then-reconnected pair counts once — exactly the
+  // map-per-pair semantics of ReferenceSwarm.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> records = retired_mutual_;
+  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+    if (!is_leecher(p)) continue;
+    const auto& row = nbr_[p];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const core::PeerId q = row[i];
+      if (q <= p || !is_leecher(q)) continue;
+      const std::uint32_t rounds = mutual_rounds_[nslot_[p][i]];
+      if (rounds == 0) continue;
+      records.emplace_back((static_cast<std::uint64_t>(p) << 32) | q, rounds);
     }
   }
-  if (report.reciprocated_pairs == 0 || leechers_ < 3) return report;
+  std::sort(records.begin(), records.end());
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < records.size();) {
+    std::uint64_t key = records[i].first;
+    std::uint32_t rounds = records[i].second;
+    for (++i; i < records.size() && records[i].first == key; ++i) rounds += records[i].second;
+    records[merged++] = {key, rounds};
+  }
+  records.resize(merged);
+
+  report.reciprocated_pairs = records.size();
+  if (records.empty() || leechers_ < 3) return report;
+
+  double offset_sum = 0.0;
+  double weight_sum = 0.0;
+  std::vector<double> partner_rank_sum(stats_.size(), 0.0);
+  std::vector<double> partner_weight(stats_.size(), 0.0);
+  // Pair order = (a ascending, b ascending): deterministic accumulation
+  // shared with ReferenceSwarm.
+  for (const auto& [key, rounds] : records) {
+    const auto a = static_cast<core::PeerId>(key >> 32);
+    const auto b = static_cast<core::PeerId>(key & 0xFFFFFFFFu);
+    const double w = static_cast<double>(rounds);
+    const double ra = static_cast<double>(bandwidth_rank_[a]);
+    const double rb = static_cast<double>(bandwidth_rank_[b]);
+    offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
+    weight_sum += w;
+    partner_rank_sum[a] += w * rb;
+    partner_weight[a] += w;
+    partner_rank_sum[b] += w * ra;
+    partner_weight[b] += w;
+  }
   report.mean_normalized_offset = offset_sum / weight_sum;
 
   std::vector<double> own;
   std::vector<double> partner;
-  for (std::size_t p = 0; p < leechers_; ++p) {
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
     if (partner_weight[p] == 0.0) continue;
     own.push_back(static_cast<double>(bandwidth_rank_[p]));
     partner.push_back(partner_rank_sum[p] / partner_weight[p]);

@@ -6,33 +6,51 @@
 // chosen rarest-first. The simulator exists to check, at the protocol
 // level, the matching-model predictions the paper derives analytically:
 // TFT exchanges stratify by bandwidth, and per-peer download rates
-// follow the Figure 11 efficiency curve.
+// follow the Figure 11 efficiency curve — including under the §3
+// churn regime (Figure 3), where peers join and leave mid-run.
 //
 // In post-flash-crowd mode each leecher starts with a uniformly random
 // subset of pieces (the paper's assumption that rarest-first has
 // already equalized block repartition); flash-crowd mode starts all
 // leechers empty with `seeds` complete peers.
 //
-// Data plane: the tracker overlay is static, so all per-neighbor state
-// (smoothed rate estimates, in-flight piece locks, mutual-unchoke
-// counters) lives in flat arrays indexed by *edge slot* — a CSR layout
-// with one directed slot per (peer, neighbor) pair, preallocated at
-// construction. This keeps a round O(edges) with no hashing or
-// allocation on the hot path and scales to 10^4..10^5 peers; see
-// reference_swarm.hpp for the retained map-based implementation used to
-// differential-test this one.
+// Data plane: a *dynamic* overlay over flat edge-slot arrays with slot
+// recycling. Every directed (peer, neighbor) pair owns one slot in a
+// preallocated pool; all per-neighbor state (smoothed rate estimates,
+// in-flight piece locks, mutual-unchoke counters) is indexed by slot,
+// so a round stays O(edges) with no hashing or allocation on the hot
+// path. Per-peer adjacency is a pair of parallel, neighbor-sorted
+// vectors (neighbor id, slot id) that remain valid across mutations:
+//
+//  - leave()/completion departures release both directed slots of each
+//    incident edge onto a free list (state zeroed, generation stamp
+//    bumped so any stale reference is detectable) and flush the pair's
+//    mutual-unchoke history into retired records, so recycled slots
+//    never leak a previous pair's counters into StratificationReport;
+//  - join() claims recycled slots for a fresh leecher's announce
+//    (uniform picks from the live population, deterministic from the
+//    swarm RNG) and registers its partial bitfield with the picker;
+//  - reannounce() tops a peer's degree back up toward neighbor_degree
+//    from the live non-neighbor population — the tracker re-announce
+//    that keeps the overlay connected as departures thin it out.
+//
+// See reference_swarm.hpp for the retained map-based implementation:
+// both planes implement the same operations in strict FP + RNG
+// lockstep and are differential-tested for bitwise equality, churned
+// runs included.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "bittorrent/choker.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "core/types.hpp"
-#include "graph/graph.hpp"
 #include "graph/rng.hpp"
 
 namespace strat::bt {
@@ -58,9 +76,21 @@ struct SwarmConfig {
   /// effectively averages over ~2 intervals (alpha ~ 0.5).
   double rate_smoothing = 0.5;
   /// Per-leecher regular unchoke slots. Empty = every leecher uses
-  /// `tft_slots`; otherwise one entry per leecher (seeds always use
-  /// `tft_slots`). Enables upload-slot heterogeneity scenarios.
+  /// `tft_slots`; otherwise one entry per *initial* leecher (seeds and
+  /// join() arrivals always use `tft_slots`). Enables upload-slot
+  /// heterogeneity scenarios.
   std::vector<std::size_t> tft_slots_per_peer;
+  /// Piece-level endgame mode. Off (default): a sender may target any
+  /// piece the receiver lacks, so duplicate in-flight targets are
+  /// always possible. On: outside the endgame phase a receiver hands
+  /// each sender a distinct missing piece (no duplicate in-flight
+  /// requests — a sender with only already-reserved pieces to offer
+  /// idles and its budget is redistributed); once the receiver's
+  /// missing set is smaller than the number of peers currently
+  /// unchoking it, the restriction lifts (duplicates allowed) and the
+  /// first completion cancels every other in-flight request for that
+  /// piece (stale targets are re-picked on the sender's next transfer).
+  bool endgame = false;
 };
 
 /// Per-peer accounting, exposed for metrics.
@@ -71,10 +101,12 @@ struct PeerStats {
   std::size_t pieces = 0;       // currently held
   double completion_round = -1.0;  // first round with all pieces (-1: not yet)
   bool seed = false;            // started as a seed
+  double join_round = 0.0;      // when the peer entered the swarm
+  double leave_round = -1.0;    // when it departed (-1: still present)
 };
 
 /// Swarm-level stratification summary, accumulated over every elapsed
-/// round while both endpoints were still downloading.
+/// round while both endpoints were present and still downloading.
 struct StratificationReport {
   /// Spearman correlation between peers' bandwidth rank and the mean
   /// bandwidth rank of their *reciprocated* TFT partners. 1 = perfect
@@ -97,6 +129,140 @@ inline constexpr PieceId kNoPiece = std::numeric_limits<PieceId>::max();
 /// diverge.
 inline constexpr double kBudgetEpsilon = 1e-9;
 
+namespace detail {
+
+/// Splits `budget` KB evenly across the hungry receivers, then
+/// redistributes whatever a finished receiver left on the table among
+/// the ones still able to take data. `send(item, share)` returns the KB
+/// actually transferred. One definition shared by both data planes so
+/// their satiation arithmetic cannot drift (see kBudgetEpsilon).
+template <typename Item, typename SendFn>
+void redistribute_upload(double budget, std::vector<Item>& hungry, std::vector<Item>& next_hungry,
+                         SendFn&& send) {
+  double leftover = budget;
+  while (leftover > kBudgetEpsilon && !hungry.empty()) {
+    const double share = leftover / static_cast<double>(hungry.size());
+    leftover = 0.0;
+    next_hungry.clear();
+    for (const Item& item : hungry) {
+      const double spent = send(item, share);
+      // A receiver that absorbed its whole share can take more; one
+      // that ran out of pickable pieces is dropped from this round.
+      if (spent >= share - kBudgetEpsilon) next_hungry.push_back(item);
+      leftover += share - spent;
+    }
+    hungry.swap(next_hungry);
+  }
+}
+
+/// Draws up to `k` entries uniformly without replacement from
+/// `candidates` (which is consumed: the active range is permuted in
+/// place). Returned in draw order. Shared by both data planes so the
+/// tracker announce/re-announce RNG consumption stays in lockstep.
+inline std::vector<core::PeerId> sample_without_replacement(std::vector<core::PeerId>& candidates,
+                                                            std::size_t k, graph::Rng& rng) {
+  k = std::min(k, candidates.size());
+  std::vector<core::PeerId> out;
+  out.reserve(k);
+  std::size_t live = candidates.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(rng.below(live));
+    out.push_back(candidates[j]);
+    candidates[j] = candidates[--live];
+  }
+  return out;
+}
+
+/// Registers `p` in a dense live-peer list (ids + id->index map).
+/// Shared by both data planes so the announce rejection sampling draws
+/// from identically ordered lists.
+inline void live_insert(std::vector<core::PeerId>& ids, std::vector<std::size_t>& ix,
+                        std::size_t peer_count, core::PeerId p) {
+  ix.resize(peer_count, std::numeric_limits<std::size_t>::max());
+  ix[p] = ids.size();
+  ids.push_back(p);
+}
+
+/// Swap-removes `p` from the dense live-peer list.
+inline void live_remove(std::vector<core::PeerId>& ids, std::vector<std::size_t>& ix,
+                        core::PeerId p) {
+  const std::size_t at = ix[p];
+  ix[ids.back()] = at;
+  ids[at] = ids.back();
+  ids.pop_back();
+  ix[p] = std::numeric_limits<std::size_t>::max();
+}
+
+/// Per-peer inbound-unchoke counts for the endgame phase test, from
+/// this round's unchoke sets. Shared by both data planes.
+inline void count_incoming_unchokes(const std::vector<std::vector<core::PeerId>>& unchoked,
+                                    std::vector<std::uint32_t>& incoming) {
+  incoming.assign(unchoked.size(), 0);
+  for (const auto& row : unchoked) {
+    for (const core::PeerId q : row) ++incoming[q];
+  }
+}
+
+/// The tracker announce: connects `p` to up to `need` distinct live
+/// non-neighbors chosen uniformly. Rejection-samples the dense live
+/// list (O(need) against a large population), falling back to an exact
+/// candidate scan + sample when the population is nearly exhausted.
+/// Parameterized on the plane's edge test and connect primitive — one
+/// definition shared by both data planes so the accept/reject RNG
+/// draw sequence cannot drift. Returns the connections made.
+template <typename HasEdgeFn, typename ConnectFn>
+std::size_t announce_connect(const std::vector<core::PeerId>& live_ids,
+                             const std::vector<bool>& departed, std::size_t peer_count,
+                             core::PeerId p, std::size_t need, graph::Rng& rng,
+                             HasEdgeFn&& has_edge, ConnectFn&& connect) {
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t cap = 8 * need + 64;
+  while (made < need && attempts < cap && live_ids.size() > 1) {
+    ++attempts;
+    const core::PeerId q = live_ids[static_cast<std::size_t>(rng.below(live_ids.size()))];
+    if (q == p || has_edge(q)) continue;
+    connect(q);
+    ++made;
+  }
+  if (made < need) {
+    std::vector<core::PeerId> candidates;
+    candidates.reserve(live_ids.size());
+    for (core::PeerId q = 0; q < peer_count; ++q) {
+      if (q == p || departed[q] || has_edge(q)) continue;
+      candidates.push_back(q);
+    }
+    const auto chosen = sample_without_replacement(candidates, need - made, rng);
+    for (const core::PeerId q : chosen) connect(q);
+    made += chosen.size();
+  }
+  return made;
+}
+
+/// Recomputes leecher bandwidth ranks (0 = fastest; ties by id) into
+/// `rank`, indexed by peer id (seed entries stay 0 and are never read).
+/// Returns the leecher count. Shared by both data planes: stratification
+/// output is bitwise-compared between them.
+inline std::size_t rebuild_bandwidth_ranks(const std::vector<PeerStats>& stats,
+                                           std::vector<std::size_t>& rank) {
+  std::vector<core::PeerId> order;
+  order.reserve(stats.size());
+  for (std::size_t p = 0; p < stats.size(); ++p) {
+    if (!stats[p].seed) order.push_back(static_cast<core::PeerId>(p));
+  }
+  std::sort(order.begin(), order.end(), [&](core::PeerId a, core::PeerId b) {
+    if (stats[a].upload_kbps != stats[b].upload_kbps) {
+      return stats[a].upload_kbps > stats[b].upload_kbps;
+    }
+    return a < b;
+  });
+  rank.assign(stats.size(), 0);
+  for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  return order.size();
+}
+
+}  // namespace detail
+
 /// The simulator.
 class Swarm {
  public:
@@ -110,23 +276,62 @@ class Swarm {
   /// Advances `rounds` intervals.
   void run(std::size_t rounds);
 
+  // --- dynamic overlay ------------------------------------------------
+
+  /// Adds a fresh leecher holding `have` (a possibly partial bitfield;
+  /// availability counters pick it up) and announces it to the tracker:
+  /// it connects to up to llround(neighbor_degree) live peers chosen
+  /// uniformly from the current population, deterministic from the
+  /// swarm RNG. Returns the new peer id. Edge slots are recycled from
+  /// the free list before the pool grows.
+  core::PeerId join(double upload_kbps, const Bitfield& have);
+
+  /// join() with an empty bitfield (a flash-crowd arrival).
+  core::PeerId join(double upload_kbps);
+
+  /// Voluntary (possibly seedless) departure: drops the peer's piece
+  /// copies from availability, discards partial/in-flight state,
+  /// releases every incident edge slot to the free list and flushes the
+  /// affected pairs' mutual-unchoke history. No-op if already departed.
+  void leave(core::PeerId p);
+
+  /// Tracker re-announce: tops p's degree back up toward
+  /// llround(neighbor_degree) with uniform picks from the live
+  /// non-neighbor population (deterministic from the swarm RNG).
+  /// Returns the number of fresh connections. No-op for departed peers.
+  std::size_t reannounce(core::PeerId p);
+
+  // --- queries --------------------------------------------------------
+
   [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
   [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
   [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
 
+  /// True iff p was never a seed (initial leecher or join() arrival).
+  [[nodiscard]] bool is_leecher(core::PeerId p) const { return !stats_.at(p).seed; }
+
+  /// Peers currently present (never departed).
+  [[nodiscard]] std::size_t live_peer_count() const noexcept { return live_ids_.size(); }
+
+  /// join() arrivals so far (excludes the initial population).
+  [[nodiscard]] std::size_t arrivals() const noexcept { return arrivals_; }
+
+  /// Departures so far (voluntary and completion-driven).
+  [[nodiscard]] std::size_t departures() const noexcept { return departures_; }
+
   /// Leechers that hold every piece.
   [[nodiscard]] std::size_t completed_leechers() const;
 
-  /// Mean download rate (kbps) of leecher p over elapsed rounds.
+  /// Mean download rate (kbps) of leecher p over its elapsed presence.
   [[nodiscard]] double mean_download_kbps(core::PeerId p) const;
 
-  /// Mean download rate of p over its *leeching* phase only (until it
-  /// completed, or until now if still downloading). The per-peer QoS
+  /// Mean download rate of p over its *leeching* phase only (from join
+  /// until it completed or departed, or until now). The per-peer QoS
   /// figure predicted by the §6 efficiency model.
   [[nodiscard]] double leech_download_kbps(core::PeerId p) const;
 
   /// Stratification metrics accumulated since construction (or the
-  /// last reset_stratification()).
+  /// last reset_stratification()), retired pairs included.
   [[nodiscard]] StratificationReport stratification() const;
 
   /// Clears the accumulated mutual-unchoke history, so stratification()
@@ -137,7 +342,8 @@ class Swarm {
   /// two leechers), as (better peer, worse peer) by bandwidth.
   [[nodiscard]] std::vector<std::pair<core::PeerId, core::PeerId>> reciprocated_pairs() const;
 
-  /// True iff p finished and left the swarm (stay_as_seed == false).
+  /// True iff p left the swarm (leave(), or completion with
+  /// stay_as_seed == false).
   [[nodiscard]] bool departed(core::PeerId p) const { return departed_.at(p); }
 
   /// Piece-availability dispersion across the swarm. The §6 assumption
@@ -152,48 +358,98 @@ class Swarm {
   };
   [[nodiscard]] AvailabilityStats availability_stats() const;
 
-  /// Neighbor set (tracker overlay) of peer p.
-  [[nodiscard]] std::span<const graph::Vertex> neighbors(core::PeerId p) const {
-    return overlay_.neighbors(p);
+  /// Neighbor set (tracker overlay) of peer p, sorted ascending.
+  [[nodiscard]] std::span<const core::PeerId> neighbors(core::PeerId p) const {
+    return {nbr_.at(p).data(), nbr_.at(p).size()};
   }
 
-  /// Number of directed overlay edge slots (data-plane footprint).
-  [[nodiscard]] std::size_t edge_slot_count() const noexcept { return edge_peer_.size(); }
+  /// Current overlay degree of p.
+  [[nodiscard]] std::size_t degree(core::PeerId p) const { return nbr_.at(p).size(); }
+
+  // --- slot-pool introspection (leak/recycling invariants) ------------
+
+  /// Directed edge-slot pool capacity (live + free).
+  [[nodiscard]] std::size_t edge_slot_capacity() const noexcept { return edge_peer_.size(); }
+
+  /// Slots currently carrying an edge.
+  [[nodiscard]] std::size_t live_edge_slots() const noexcept {
+    return edge_peer_.size() - free_slots_.size();
+  }
+
+  /// Slots parked on the free list.
+  [[nodiscard]] std::size_t free_edge_slots() const noexcept { return free_slots_.size(); }
+
+  /// Times slot `s` has been released back to the pool.
+  [[nodiscard]] std::uint32_t slot_generation(std::size_t s) const { return slot_gen_.at(s); }
 
  private:
   void choke_step();
   void record_mutual_unchokes();
+  void count_incoming_unchokes();
   void transfer_step();
   void fold_rates();
   /// Sends up to `budget` KB from p to q; returns the KB actually
   /// transferred (less than `budget` when q runs out of pickable
   /// pieces).
   double send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget);
+  /// Rarest-first pick for receiver q from sender p, honoring the
+  /// endgame request discipline when configured (slot_qp is q's slot
+  /// toward p, exempt from the reservation scan).
+  [[nodiscard]] std::optional<PieceId> pick_for(core::PeerId q, core::PeerId p,
+                                                std::size_t slot_qp);
   void complete_piece(core::PeerId p, PieceId piece);
-  /// Removes a completed leecher from the data plane: availability
-  /// counters drop, partial/in-flight state is discarded.
-  void depart_peer(core::PeerId p);
+  /// Removes a peer from the data plane at round coordinate `when`:
+  /// availability counters drop, partial/in-flight state is discarded,
+  /// incident edge slots are released and mutual history flushed.
+  void depart_peer(core::PeerId p, double when);
   [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
-  /// Edge slot of neighbor q in p's CSR row (adjacency is sorted).
+  /// Edge slot of neighbor q in p's sorted adjacency row.
   [[nodiscard]] std::size_t slot_of(core::PeerId p, core::PeerId q) const;
+  /// Claims a slot (free list first, pool growth second).
+  std::size_t claim_slot();
+  /// Zeroes a slot's dynamic state, bumps its generation and parks it
+  /// on the free list. The pair's mutual count must be flushed first.
+  void release_slot(std::size_t s);
+  /// Connects p and q: claims both directed slots and inserts each into
+  /// the other's sorted adjacency row.
+  void connect(core::PeerId p, core::PeerId q);
+  /// Releases every edge incident to p (slots freed, mutual flushed,
+  /// p removed from each neighbor's row).
+  void release_all_edges(core::PeerId p);
+  /// Moves a live pair's mutual-unchoke count into the retired records.
+  void flush_mutual(core::PeerId p, core::PeerId q, std::size_t slot_pq);
+  /// Connects p to up to `need` distinct live non-neighbors chosen
+  /// uniformly (the tracker announce). Rejection-samples the dense
+  /// live-peer list — O(need) against a large population — and falls
+  /// back to an exact candidate scan when the population is nearly
+  /// exhausted. Returns the connections made.
+  std::size_t connect_random_live(core::PeerId p, std::size_t need);
+  /// Rebuilds bandwidth_rank_ if a join made it stale.
+  void refresh_ranks() const;
+  /// Tracker target degree (llround(neighbor_degree)).
+  [[nodiscard]] std::size_t target_degree() const;
 
   SwarmConfig config_;
   graph::Rng& rng_;
-  graph::Graph overlay_;
   PiecePicker picker_;
   std::vector<PeerStats> stats_;
   std::vector<Bitfield> have_;
   std::vector<TftChoker> chokers_;
   std::vector<std::vector<core::PeerId>> unchoked_;  // per peer, this round
 
-  // --- CSR edge-slot data plane -------------------------------------
-  // Directed slot s belongs to peer p (edge_offset_[p] <= s <
-  // edge_offset_[p+1]) and names neighbor edge_peer_[s]; mirror_[s] is
-  // the opposite-direction slot. All per-neighbor state below is
-  // indexed by slot and preallocated once (the overlay is static).
-  std::vector<std::size_t> edge_offset_;    // |V|+1 prefix sums
-  std::vector<core::PeerId> edge_peer_;     // slot -> neighbor
-  std::vector<std::size_t> mirror_;         // slot -> reverse slot
+  // --- dynamic edge-slot data plane -----------------------------------
+  // Per-peer adjacency: nbr_[p] is p's neighbor ids sorted ascending,
+  // nslot_[p] the parallel directed slot carrying (p -> nbr) state.
+  std::vector<std::vector<core::PeerId>> nbr_;
+  std::vector<std::vector<std::size_t>> nslot_;
+  // Slot pool. edge_peer_[s]/mirror_[s] identify the slot's neighbor
+  // and reverse slot while live; they go stale (not cleared) once the
+  // slot is released — slot_gen_[s] is bumped on every release so
+  // stale references are detectable. free_slots_ holds released ids.
+  std::vector<core::PeerId> edge_peer_;   // slot -> neighbor
+  std::vector<std::size_t> mirror_;       // slot -> reverse slot
+  std::vector<std::uint32_t> slot_gen_;   // release count
+  std::vector<std::size_t> free_slots_;   // recycling free list
   std::vector<double> rate_in_;   // smoothed KB/round received on slot
   std::vector<double> now_in_;    // current round's receipts on slot
   std::vector<double> rate_out_;  // smoothed KB/round sent on slot (seed policy)
@@ -202,18 +458,39 @@ class Swarm {
   // owner, sender = edge_peer_[slot]); kNoPiece when idle.
   std::vector<PieceId> inflight_;
   // Rounds each leecher pair spent mutually unchoked while both were
-  // still downloading, on the lower-endpoint-owned slot (owner < nbr).
+  // present and downloading, on the lower-endpoint-owned slot. Flushed
+  // into retired_mutual_ when the edge is released.
   std::vector<std::uint32_t> mutual_rounds_;
+  // Mutual-unchoke history of disconnected pairs: (min<<32|max, rounds).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> retired_mutual_;
 
   // Partial piece progress: per receiver, (piece, KB accumulated)
   // pairs. At most one entry per active sender, so linear scans win
   // over hashing.
   std::vector<std::vector<std::pair<PieceId, double>>> partial_;
 
-  std::vector<std::size_t> bandwidth_rank_;  // leecher -> rank by capacity
+  // Endgame-mode scratch: per-peer count of inbound unchokes this
+  // round, and a reusable exclusion bitfield for the request
+  // discipline (reserved_list_ tracks its set bits for O(deg) clears).
+  std::vector<std::uint32_t> incoming_unchokes_;
+  Bitfield reserved_scratch_;
+  std::vector<PieceId> reserved_list_;
+
+  // Leecher bandwidth ranks (peer id -> rank), rebuilt lazily: join()
+  // only marks them dirty, so churn-heavy rounds never pay the
+  // O(L log L) sort — the readers (stratification, reciprocated_pairs)
+  // refresh on demand.
+  mutable std::vector<std::size_t> bandwidth_rank_;
+  mutable bool ranks_dirty_ = false;
   std::vector<bool> departed_;
+  // Dense live-peer list for uniform announce sampling: live_ids_ is
+  // unordered (swap-remove on departure), live_ix_ maps id -> index.
+  std::vector<core::PeerId> live_ids_;
+  std::vector<std::size_t> live_ix_;
   std::size_t round_ = 0;
-  std::size_t leechers_ = 0;
+  std::size_t leechers_ = 0;     // leechers ever (initial + arrivals)
+  std::size_t arrivals_ = 0;
+  std::size_t departures_ = 0;
 };
 
 }  // namespace strat::bt

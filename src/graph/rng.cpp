@@ -85,6 +85,32 @@ double Rng::normal(double mean, double sigma) noexcept { return mean + sigma * n
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  // Sum of independent Poissons is Poisson: split large means so the
+  // product method's exp(-mean) limit never underflows.
+  std::uint64_t total = 0;
+  while (mean > 32.0) {
+    const double half = mean / 2.0;
+    total += poisson(half);
+    mean -= half;
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return total + k;
+}
+
+double Rng::exponential(double mean) noexcept {
+  if (mean <= 0.0) return 0.0;
+  // uniform() < 1, so log1p(-u) is finite.
+  return -mean * std::log1p(-uniform());
+}
+
 std::uint64_t Rng::skip_geometric(double p) noexcept {
   if (p >= 1.0) return 0;
   double u = uniform();

@@ -51,6 +51,16 @@ class Rng {
   /// Bernoulli trial with success probability p in [0, 1].
   bool bernoulli(double p) noexcept;
 
+  /// Poisson draw with the given mean (0 when mean <= 0). Knuth's
+  /// product method for small means; large means split recursively into
+  /// independent halves, so the draw stays exact at any rate. Drives
+  /// the swarm churn arrival/replacement processes.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Exponential draw with the given mean (inverse CDF). Drives the
+  /// swarm churn lifetime model.
+  double exponential(double mean) noexcept;
+
   /// Geometric-style skip: number of failures before the first success of
   /// a Bernoulli(p) sequence, i.e. floor(log(U)/log(1-p)). Used by the
   /// G(n,p) edge-skip sampler. Requires 0 < p <= 1.

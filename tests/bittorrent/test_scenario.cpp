@@ -59,7 +59,24 @@ TEST(Scenario, ResultAggregatesAreCoherent) {
   EXPECT_GT(result.total_uploaded_kb, 0.0);
   EXPECT_NEAR(result.total_uploaded_kb, result.total_downloaded_kb, 1e-6);
   EXPECT_GT(result.mean_leech_kbps, 0.0);
-  // Stratified swarms download faster at the top of the capacity order.
+}
+
+TEST(Scenario, StratifiedDecilesOrderByCapacity) {
+  // Stratified swarms download faster at the top of the capacity
+  // order. Needs a long-enough window and population for the decile
+  // means to rise above per-seed noise (4-peer deciles over 15 rounds
+  // flip sign on unlucky seeds).
+  SwarmScenario scenario;
+  scenario.config.num_peers = 120;
+  scenario.config.seeds = 2;
+  scenario.config.num_pieces = 256;
+  scenario.config.piece_kb = 256.0;
+  scenario.config.neighbor_degree = 20.0;
+  scenario.config.initial_completion = 0.5;
+  scenario.upload_kbps = BandwidthModel::saroiu2002().representative_sample(120);
+  scenario.warmup_rounds = 10;
+  scenario.measure_rounds = 30;
+  const auto result = run_scenario(scenario, 7);
   EXPECT_GT(result.top_decile_kbps, result.bottom_decile_kbps);
 }
 
