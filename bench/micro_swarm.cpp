@@ -12,6 +12,10 @@
 // file into BENCH_swarm.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
 #include "bittorrent/bandwidth.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "bittorrent/reference_swarm.hpp"
@@ -21,6 +25,25 @@
 namespace {
 
 using namespace strat;
+
+// Resident set size in MB (Linux; 0 elsewhere) — the whole-process
+// check behind BM_SwarmLongChurn's flat-memory claim.
+double rss_mb() {
+#ifdef __linux__
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      long kb = 0;
+      if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<double>(kb) / 1024.0;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return 0.0;
+}
 
 bt::SwarmConfig round_config(std::size_t peers) {
   bt::SwarmConfig cfg;
@@ -107,6 +130,66 @@ void BM_SwarmChurnRound(benchmark::State& state) {
   state.counters["arrivals"] = static_cast<double>(swarm.arrivals());
 }
 BENCHMARK(BM_SwarmChurnRound)->Arg(1)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// The open-system scale gate: a 5000-live-peer swarm absorbing the
+// argument's cumulative arrivals (10^5, 10^6) through replacement
+// churn with model-sampled arrival capacities and no departed-peer
+// archive. The dense peer-table compaction keeps per-peer storage and
+// round time O(live): compare end_round_ms / data_plane_mb / rss_mb
+// across the two args — flat (±10%) is the acceptance bar, where the
+// pre-compaction plane grew linearly with arrivals-ever. Both args run
+// the same number of simulated rounds (so the end-state probe compares
+// same-age swarms) and differ only in replacement rate, i.e. in how
+// many peers ever churned through; the benchmark's own time is the
+// whole run.
+void BM_SwarmLongChurn(benchmark::State& state) {
+  constexpr std::size_t kPeers = 5000;
+  constexpr std::size_t kRounds = 200;
+  const auto target_arrivals = static_cast<std::size_t>(state.range(0));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  bt::SwarmConfig cfg = round_config(kPeers);
+  cfg.retain_departed = false;  // aggregates only: flat memory forever
+  bt::ChurnSpec spec;
+  spec.replacement_rate =
+      static_cast<double>(target_arrivals) / static_cast<double>(kRounds);
+  spec.arrival_completion = 0.5;
+  spec.reannounce_interval = 10;
+  spec.arrival_bandwidth = bt::ChurnSpec::ArrivalBandwidth::kModel;
+  spec.arrival_model = model;
+  for (auto _ : state) {
+    graph::Rng rng(7);
+    bt::Swarm swarm(cfg, model.representative_sample(kPeers), rng);
+    bt::ChurnDriver<bt::Swarm> churn(spec, cfg, {}, rng);
+    churn.attach(swarm);
+    for (std::size_t r = 0; r < kRounds || swarm.arrivals() < target_arrivals; ++r) {
+      churn.before_round(swarm);
+      swarm.run_round();
+    }
+    // End-state round time, churn excluded: O(live) iff flat across args.
+    constexpr std::size_t kProbeRounds = 5;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < kProbeRounds; ++r) swarm.run_round();
+    const auto stop = std::chrono::steady_clock::now();
+    const auto fp = swarm.memory_footprint();
+    state.counters["arrivals"] = static_cast<double>(swarm.arrivals());
+    state.counters["end_round_ms"] =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(kProbeRounds);
+    state.counters["data_plane_mb"] =
+        static_cast<double>(fp.peer_state_bytes + fp.edge_slot_bytes) / (1024.0 * 1024.0);
+    state.counters["id_index_mb"] =
+        static_cast<double>(fp.id_index_bytes) / (1024.0 * 1024.0);
+    state.counters["rss_mb"] = rss_mb();
+    benchmark::DoNotOptimize(swarm.live_peer_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(target_arrivals));
+}
+BENCHMARK(BM_SwarmLongChurn)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Replication sweep throughput through the scenario engine; threads is
 // the second argument (1 = serial baseline).

@@ -1,0 +1,135 @@
+// Dense peer table: the indirection layer between stable external
+// peer identities and compact internal storage rows.
+//
+// External `core::PeerId`s are handed out in arrival order and never
+// reused — they are what scenarios, trackers, churn drivers and
+// reports speak. Internally, every *live* peer owns one dense row in
+// [0, size()), and all per-peer hot-path state in the swarm data plane
+// is row-indexed. A departure compacts the row space with the same
+// swap-with-last discipline the edge-slot pool uses for its free list:
+// the last row's occupant moves into the vacated row, the id->row map
+// is patched, and the row's generation stamp is bumped so any stale
+// cached row reference is detectable. Long churned runs therefore keep
+// per-peer storage and per-peer loops O(live population), while the
+// external id space keeps growing monotonically (the id->row map is
+// the only O(ids-ever) structure, at 4 bytes per id ever seen).
+//
+// The table's row order is exactly the old dense live-list order
+// (insertion order, swap-removed on departure), so announce rejection
+// sampling over ids() consumes the same RNG stream as before the
+// indirection existed. Both swarm data planes embed one table each and
+// apply identical add/remove sequences, which keeps their row orders —
+// and therefore every order-dependent RNG draw — in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace strat::bt {
+
+class PeerTable {
+ public:
+  /// Internal row index. Rows are dense: always < size().
+  using Row = std::uint32_t;
+
+  /// Sentinel "not live" row.
+  static constexpr Row kNoRow = std::numeric_limits<Row>::max();
+
+  /// Registers external id `id` and assigns it the next row. Ids must
+  /// be fresh (never added before — departed ids are tombstoned, not
+  /// recycled); throws std::invalid_argument on reuse. Returns the new
+  /// row (== size() - 1).
+  Row add(core::PeerId id) {
+    if (id < row_of_.size() && row_of_[id] != kNoRow) {
+      throw std::invalid_argument("PeerTable::add: id already used");
+    }
+    if (id >= row_of_.size()) row_of_.resize(id + 1, kNoRow);
+    const auto row = static_cast<Row>(ids_.size());
+    row_of_[id] = row;
+    ids_.push_back(id);
+    if (row_gen_.size() <= row) row_gen_.resize(row + 1, 0);
+    return row;
+  }
+
+  /// Outcome of a removal, so the owner can apply the same
+  /// swap-with-last move to every row-indexed container: the state at
+  /// row `size()` (the old last row) belongs at `row` now, unless
+  /// `moved_id` is kNoPeer (the removed peer already owned the last
+  /// row — a plain pop_back suffices).
+  struct Removal {
+    Row row = kNoRow;                    // the vacated row
+    core::PeerId moved_id = core::kNoPeer;  // occupant swapped into it
+  };
+
+  /// Swap-with-last compaction: removes `id` (leaving a tombstone so
+  /// the id can never be re-added), moves the last row's occupant into
+  /// its row and bumps that row's generation stamp. Throws
+  /// std::invalid_argument if `id` is not live.
+  Removal remove(core::PeerId id) {
+    if (!contains(id)) throw std::invalid_argument("PeerTable::remove: id not live");
+    Removal out;
+    out.row = row_of_[id];
+    const core::PeerId last = ids_.back();
+    ids_[out.row] = last;
+    row_of_[last] = out.row;
+    ids_.pop_back();
+    row_of_[id] = kTombstone;
+    ++row_gen_[out.row];
+    if (last != id) out.moved_id = last;
+    return out;
+  }
+
+  /// Row of `id`, or kNoRow when it is not live (departed or unknown).
+  [[nodiscard]] Row row_of(core::PeerId id) const noexcept {
+    if (id >= row_of_.size()) return kNoRow;
+    const Row r = row_of_[id];
+    return r >= kTombstone ? kNoRow : r;
+  }
+
+  /// External id occupying `row` (row must be < size()).
+  [[nodiscard]] core::PeerId id_at(Row row) const { return ids_.at(row); }
+
+  [[nodiscard]] bool contains(core::PeerId id) const noexcept { return row_of(id) != kNoRow; }
+
+  /// Live peer count (== the dense row count).
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  /// Live external ids in row order. Valid until the next add/remove.
+  [[nodiscard]] std::span<const core::PeerId> ids() const noexcept {
+    return {ids_.data(), ids_.size()};
+  }
+
+  /// One past the largest id ever registered (the external id space).
+  [[nodiscard]] std::size_t id_space() const noexcept { return row_of_.size(); }
+
+  /// Times `row`'s occupant changed through compaction; a cached
+  /// (row, generation) handle is stale once this no longer matches.
+  [[nodiscard]] std::uint32_t generation(Row row) const { return row_gen_.at(row); }
+
+  /// Bytes behind the dense side (rows + generations) and the
+  /// O(ids-ever) id->row map, separately — the map is the price of
+  /// stable external ids and is reported apart from the O(live) state.
+  [[nodiscard]] std::size_t row_bytes() const noexcept {
+    return ids_.capacity() * sizeof(core::PeerId) + row_gen_.capacity() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t id_map_bytes() const noexcept {
+    return row_of_.capacity() * sizeof(Row);
+  }
+
+ private:
+  /// Internal marker for "was live once, departed": distinguishes a
+  /// removed id (rejected by add()) from a never-seen one. Collapsed to
+  /// kNoRow by row_of().
+  static constexpr Row kTombstone = kNoRow - 1;
+
+  std::vector<core::PeerId> ids_;  // row -> external id
+  std::vector<Row> row_of_;        // external id -> row (kNoRow fresh, kTombstone departed)
+  std::vector<std::uint32_t> row_gen_;  // per-row occupant-change count
+};
+
+}  // namespace strat::bt

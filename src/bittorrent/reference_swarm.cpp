@@ -30,6 +30,13 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
       config.tft_slots_per_peer.size() != config.num_peers) {
     throw std::invalid_argument("ReferenceSwarm: tft_slots_per_peer needs one entry per leecher");
   }
+  if (!config.retain_departed) {
+    // The oracle keeps every peer's state forever by design; accepting
+    // the flag would silently diverge from the flat plane's
+    // aggregates-only semantics (dropped retired pairs, live-only rank
+    // normalization) and break the bitwise differential contract.
+    throw std::invalid_argument("ReferenceSwarm: retain_departed=false is unsupported");
+  }
   const std::size_t total = config.num_peers + config.seeds;
   overlay_ = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
   stats_.resize(total);
@@ -49,12 +56,7 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
   partial_.resize(total);
   inflight_.resize(total);
   departed_.assign(total, false);
-  live_ids_.reserve(total);
-  live_ix_.reserve(total);
-  for (std::size_t p = 0; p < total; ++p) {
-    live_ids_.push_back(static_cast<core::PeerId>(p));
-    live_ix_.push_back(p);
-  }
+  for (std::size_t p = 0; p < total; ++p) table_.add(static_cast<core::PeerId>(p));
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -96,7 +98,7 @@ std::size_t ReferenceSwarm::target_degree() const {
 
 std::size_t ReferenceSwarm::connect_random_live(core::PeerId p, std::size_t need) {
   const std::size_t made = detail::announce_connect(
-      live_ids_, departed_, stats_.size(), p, need, rng_,
+      table_.ids(), p, need, rng_,
       [&](core::PeerId q) { return overlay_.has_edge(p, q); },
       [&](core::PeerId q) { overlay_.add_edge(p, q); });
   // finalize() re-sorts every adjacency list, not just the touched
@@ -130,7 +132,7 @@ core::PeerId ReferenceSwarm::join(double upload_kbps, const Bitfield& have) {
   partial_.emplace_back();
   inflight_.emplace_back();
   departed_.push_back(false);
-  detail::live_insert(live_ids_, live_ix_, stats_.size(), p);
+  table_.add(p);
   ++arrivals_;
   connect_random_live(p, target_degree());
   ++leechers_;
@@ -163,11 +165,12 @@ bool ReferenceSwarm::wants_from(core::PeerId receiver, core::PeerId sender) cons
 }
 
 void ReferenceSwarm::choke_step() {
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (departed_[p]) {
-      unchoked_[p].clear();
-      continue;
-    }
+  // Table-row order, matching the flat plane's dense iteration (the
+  // choker's optimistic rotation consumes RNG, so order matters).
+  // Departed peers have no row and their unchoke sets were cleared at
+  // departure.
+  for (PeerTable::Row r = 0; r < table_.size(); ++r) {
+    const core::PeerId p = table_.id_at(r);
     std::vector<ChokeCandidate> candidates;
     const auto nbrs = overlay_.neighbors(p);
     candidates.reserve(nbrs.size());
@@ -193,7 +196,12 @@ void ReferenceSwarm::choke_step() {
 }
 
 void ReferenceSwarm::count_incoming_unchokes() {
-  detail::count_incoming_unchokes(unchoked_, incoming_unchokes_);
+  // Departed peers' unchoke sets are empty, so the full id scan counts
+  // exactly what the flat plane's row scan counts.
+  incoming_unchokes_.assign(unchoked_.size(), 0);
+  for (const auto& row : unchoked_) {
+    for (const core::PeerId q : row) ++incoming_unchokes_[q];
+  }
 }
 
 std::optional<PieceId> ReferenceSwarm::pick_for(core::PeerId q, core::PeerId p) {
@@ -232,7 +240,7 @@ void ReferenceSwarm::complete_piece(core::PeerId p, PieceId piece) {
 void ReferenceSwarm::depart_peer(core::PeerId p, double when) {
   departed_[p] = true;
   stats_[p].leave_round = when;
-  detail::live_remove(live_ids_, live_ix_, p);
+  table_.remove(p);  // the same compaction decision as the flat plane
   ++departures_;
   picker_.remove_bitfield(have_[p]);
   partial_[p].clear();
@@ -289,9 +297,14 @@ double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
 }
 
 void ReferenceSwarm::transfer_step() {
+  // Sender-order snapshot by external id in table-row order, exactly
+  // like the flat plane: completion departures compact the table
+  // mid-phase, and a departed sender is skipped on its turn.
+  order_scratch_.assign(table_.ids().begin(), table_.ids().end());
   std::vector<core::PeerId> hungry;
   std::vector<core::PeerId> next_hungry;
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+  for (const core::PeerId p : order_scratch_) {
+    if (departed_[p]) continue;
     hungry.clear();
     for (core::PeerId q : unchoked_[p]) {
       if (wants_from(q, p)) hungry.push_back(q);
@@ -306,7 +319,8 @@ void ReferenceSwarm::transfer_step() {
 void ReferenceSwarm::run_round() {
   choke_step();
   if (config_.endgame) count_incoming_unchokes();
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+  for (PeerTable::Row r = 0; r < table_.size(); ++r) {
+    const core::PeerId p = table_.id_at(r);
     if (!is_leecher(p) || have_[p].complete()) continue;
     for (core::PeerId q : unchoked_[p]) {
       if (q <= p || !is_leecher(q) || have_[q].complete()) continue;

@@ -17,15 +17,21 @@
 // Overlay mutations here go through graph::Graph (grow/add_edge/
 // isolate + finalize), whose sorted adjacency matches the flat plane's
 // sorted rows, so choke candidate order — and therefore every RNG
-// draw — stays aligned.
+// draw — stays aligned. The plane embeds the same PeerTable and applies
+// identical add/remove (compaction) sequences, so per-peer loop order —
+// which the flat plane derives from table rows — matches too; its own
+// containers stay keyed by external id (O(arrivals-ever) memory is fine
+// at oracle scale).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "bittorrent/choker.hpp"
+#include "bittorrent/peer_table.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "bittorrent/swarm.hpp"
 #include "core/types.hpp"
@@ -52,7 +58,9 @@ class ReferenceSwarm {
   [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
   [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
   [[nodiscard]] bool is_leecher(core::PeerId p) const { return !stats_.at(p).seed; }
-  [[nodiscard]] std::size_t live_peer_count() const noexcept { return live_ids_.size(); }
+  [[nodiscard]] std::size_t live_peer_count() const noexcept { return table_.size(); }
+  /// Live external ids in dense row order (mirrors Swarm::live_ids()).
+  [[nodiscard]] std::span<const core::PeerId> live_ids() const noexcept { return table_.ids(); }
   [[nodiscard]] std::size_t arrivals() const noexcept { return arrivals_; }
   [[nodiscard]] std::size_t departures() const noexcept { return departures_; }
   [[nodiscard]] std::size_t degree(core::PeerId p) const { return overlay_.degree(p); }
@@ -101,11 +109,12 @@ class ReferenceSwarm {
   // key = (min id << 32) | max id. Entries persist across departures —
   // the map-per-pair analogue of the flat plane's retired records.
   std::unordered_map<std::uint64_t, std::uint32_t> mutual_rounds_;
-  // Dense live-peer list for uniform announce sampling (swap-remove on
-  // departure) — kept operation-for-operation identical to the flat
-  // plane's so rejection sampling consumes the same RNG draws.
-  std::vector<core::PeerId> live_ids_;
-  std::vector<std::size_t> live_ix_;
+  // The same dense peer table as the flat plane, fed identical
+  // add/remove sequences: row order drives announce sampling and every
+  // per-peer loop, so both planes' RNG consumption stays in lockstep.
+  PeerTable table_;
+  // Sender-order snapshot for transfer_step (mirrors Swarm's).
+  std::vector<core::PeerId> order_scratch_;
   std::size_t round_ = 0;
   std::size_t leechers_ = 0;  // leechers ever (initial + arrivals)
   std::size_t arrivals_ = 0;

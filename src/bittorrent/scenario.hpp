@@ -30,11 +30,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "bittorrent/bandwidth.hpp"
 #include "bittorrent/swarm.hpp"
 #include "graph/rng.hpp"
 
@@ -65,8 +67,20 @@ struct ChurnSpec {
   /// Bernoulli per piece), mirroring post_flashcrowd initialization.
   double arrival_completion = 0.0;
 
-  /// Capacities handed to arrivals, cycled in order. Empty = cycle the
-  /// scenario's leecher capacity list.
+  /// How arrivals get their upload capacity: cycle a fixed pool (the
+  /// pre-existing behavior) or draw each arrival independently from an
+  /// empirical capacity distribution — the open-system analogue of the
+  /// paper's Figure 10 / Table 1 upstream-bandwidth CDF.
+  enum class ArrivalBandwidth { kCyclePool, kModel };
+  ArrivalBandwidth arrival_bandwidth = ArrivalBandwidth::kCyclePool;
+
+  /// Distribution sampled per arrival when arrival_bandwidth == kModel
+  /// (e.g. BandwidthModel::saroiu2002()). One inverse-CDF draw from the
+  /// swarm RNG per arrival, so both data planes stay in lockstep.
+  std::optional<BandwidthModel> arrival_model;
+
+  /// Capacities handed to arrivals, cycled in order (kCyclePool only).
+  /// Empty = cycle the scenario's leecher capacity list.
   std::vector<double> arrival_upload_kbps;
 
   /// Rounds between tracker re-announce sweeps topping every live
@@ -98,54 +112,63 @@ class ChurnDriver {
   ChurnDriver(const ChurnSpec& spec, const SwarmConfig& config, std::vector<double> arrival_pool,
               graph::Rng& rng)
       : spec_(spec), config_(config), pool_(std::move(arrival_pool)), rng_(rng) {
-    const bool needs_pool =
+    const bool makes_arrivals =
         spec_.arrivals != ChurnSpec::Arrivals::kNone || spec_.replacement_rate > 0.0;
-    if (needs_pool && pool_.empty()) {
+    if (makes_arrivals && spec_.arrival_bandwidth == ChurnSpec::ArrivalBandwidth::kCyclePool &&
+        pool_.empty()) {
       throw std::invalid_argument("ChurnDriver: arrival capacity pool required");
+    }
+    if (spec_.arrival_bandwidth == ChurnSpec::ArrivalBandwidth::kModel &&
+        !spec_.arrival_model.has_value()) {
+      throw std::invalid_argument("ChurnDriver: arrival bandwidth model required");
     }
   }
 
   /// Call once, right after constructing the swarm: draws lifetimes
-  /// for the initial leecher population (id-ascending).
+  /// for the initial leecher population (dense-table order).
   void attach(SwarmT& swarm) {
     if (spec_.lifetime == ChurnSpec::Lifetime::kNone) return;
-    for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
-      if (swarm.is_leecher(p) && !swarm.departed(p)) set_deadline(p, 0.0);
+    for (const core::PeerId p : swarm.live_ids()) {
+      if (swarm.is_leecher(p)) set_deadline(p, 0.0);
     }
   }
 
   /// Applies this round's churn events; call immediately before each
   /// run_round(). Event order is fixed (and therefore reproducible):
   /// lifetime departures, replacement events, arrivals, re-announce.
+  /// Every scan walks the swarm's dense live table — O(live
+  /// population), never O(arrivals-ever).
   void before_round(SwarmT& swarm) {
     const std::size_t r = swarm.rounds_elapsed();
     const auto now = static_cast<double>(r);
     if (spec_.lifetime != ChurnSpec::Lifetime::kNone) {
-      for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
-        if (!swarm.is_leecher(p) || swarm.departed(p)) continue;
+      // Snapshot: leave() compacts the live table mid-scan.
+      const auto ids = swarm.live_ids();
+      live_scratch_.assign(ids.begin(), ids.end());
+      for (const core::PeerId p : live_scratch_) {
+        if (!swarm.is_leecher(p)) continue;
         if (deadline(p) <= now) swarm.leave(p);
       }
     }
     if (spec_.replacement_rate > 0.0) {
       const std::uint64_t events = rng_.poisson(spec_.replacement_rate);
       if (events > 0) {
-        // One scan for the whole round, maintained incrementally per
-        // event (swap-remove keeps the pick uniform).
-        std::vector<core::PeerId> live;
-        live.reserve(swarm.peer_count());
-        for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
-          if (swarm.is_leecher(p) && !swarm.departed(p)) live.push_back(p);
+        // One live-table scan for the whole round, maintained
+        // incrementally per event (swap-remove keeps the pick uniform).
+        live_scratch_.clear();
+        for (const core::PeerId p : swarm.live_ids()) {
+          if (swarm.is_leecher(p)) live_scratch_.push_back(p);
         }
         for (std::uint64_t e = 0; e < events; ++e) {
-          if (!live.empty()) {
-            const auto j = static_cast<std::size_t>(rng_.below(live.size()));
-            swarm.leave(live[j]);
-            live[j] = live.back();
-            live.pop_back();
+          if (!live_scratch_.empty()) {
+            const auto j = static_cast<std::size_t>(rng_.below(live_scratch_.size()));
+            swarm.leave(live_scratch_[j]);
+            live_scratch_[j] = live_scratch_.back();
+            live_scratch_.pop_back();
           }
           const core::PeerId fresh = join_fresh(swarm, now);
           // (a Bernoulli-complete arrival can depart on the spot)
-          if (!swarm.departed(fresh)) live.push_back(fresh);
+          if (!swarm.departed(fresh)) live_scratch_.push_back(fresh);
         }
       }
     }
@@ -158,15 +181,17 @@ class ChurnDriver {
     }
     for (std::size_t i = 0; i < arriving; ++i) join_fresh(swarm, now);
     if (spec_.reannounce_interval > 0 && r > 0 && r % spec_.reannounce_interval == 0) {
-      for (core::PeerId p = 0; p < swarm.peer_count(); ++p) {
-        if (!swarm.departed(p)) swarm.reannounce(p);
-      }
+      // reannounce() never joins or departs anyone, so the live span
+      // itself is stable here.
+      for (const core::PeerId p : swarm.live_ids()) swarm.reannounce(p);
     }
   }
 
  private:
   core::PeerId join_fresh(SwarmT& swarm, double now) {
-    const double kbps = pool_[next_capacity_++ % pool_.size()];
+    const double kbps = spec_.arrival_bandwidth == ChurnSpec::ArrivalBandwidth::kModel
+                            ? spec_.arrival_model->sample(rng_)
+                            : pool_[next_capacity_++ % pool_.size()];
     Bitfield have(config_.num_pieces);
     if (spec_.arrival_completion > 0.0) {
       for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
@@ -197,7 +222,11 @@ class ChurnDriver {
   SwarmConfig config_;
   std::vector<double> pool_;
   graph::Rng& rng_;
+  // Departure deadlines keyed by external id (only grown when a
+  // lifetime model is active — 8 bytes per arrival-ever).
   std::vector<double> deadline_;
+  // Live-id snapshot scratch, O(live), reused across rounds.
+  std::vector<core::PeerId> live_scratch_;
   std::size_t next_capacity_ = 0;
 };
 

@@ -2,12 +2,17 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "graph/erdos_renyi.hpp"
 #include "graph/graph.hpp"
 #include "sim/stats.hpp"
 
 namespace strat::bt {
+
+namespace {
+constexpr std::uint32_t kNoRetired = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
 
 Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::Rng& rng)
     : config_(config),
@@ -32,6 +37,10 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   const std::size_t total = config.num_peers + config.seeds;
   const graph::Graph overlay = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
 
+  // The initial population occupies rows 0..total-1 in id order, so a
+  // static (churn-free) run keeps row == external id throughout.
+  for (std::size_t p = 0; p < total; ++p) table_.add(static_cast<core::PeerId>(p));
+
   // Ingest the (finalized, sorted) overlay adjacency into the slot
   // pool, row-contiguous so a static run keeps CSR-like locality.
   nbr_.resize(total);
@@ -53,7 +62,7 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   mirror_.resize(edge_peer_.size());
   for (std::size_t p = 0; p < total; ++p) {
     for (std::size_t i = 0; i < nbr_[p].size(); ++i) {
-      mirror_[nslot_[p][i]] = slot_of(nbr_[p][i], static_cast<core::PeerId>(p));
+      mirror_[nslot_[p][i]] = slot_of(static_cast<Row>(nbr_[p][i]), static_cast<core::PeerId>(p));
     }
   }
   slot_gen_.assign(edge_peer_.size(), 0);
@@ -75,13 +84,6 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   }
   unchoked_.resize(total);
   partial_.resize(total);
-  departed_.assign(total, false);
-  live_ids_.reserve(total);
-  live_ix_.reserve(total);
-  for (std::size_t p = 0; p < total; ++p) {
-    live_ids_.push_back(static_cast<core::PeerId>(p));
-    live_ix_.push_back(p);
-  }
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -91,41 +93,46 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
     std::sort(sorted.begin(), sorted.end());
     seed_capacity = sorted[sorted.size() / 2];
   }
+  // Initialization walks external ids ascending; a Bernoulli-complete
+  // leecher can depart (compacting rows) mid-walk, so every access goes
+  // through the table.
   for (std::size_t p = 0; p < total; ++p) {
+    const auto id = static_cast<core::PeerId>(p);
+    const Row r = table_.row_of(id);
     const bool is_seed = p >= config.num_peers;
-    stats_[p].seed = is_seed;
-    stats_[p].upload_kbps = is_seed ? seed_capacity : upload_kbps[p];
+    stats_[r].seed = is_seed;
+    stats_[r].upload_kbps = is_seed ? seed_capacity : upload_kbps[p];
     if (is_seed) {
       for (PieceId piece = 0; piece < config.num_pieces; ++piece) {
-        have_[p].set(piece);
+        have_[r].set(piece);
         picker_.add_availability(piece);
       }
-      stats_[p].pieces = config.num_pieces;
-      stats_[p].completion_round = 0.0;
+      stats_[r].pieces = config.num_pieces;
+      stats_[r].completion_round = 0.0;
     } else if (config.post_flashcrowd) {
       for (PieceId piece = 0; piece < config.num_pieces; ++piece) {
         if (rng.bernoulli(config.initial_completion)) {
-          have_[p].set(piece);
+          have_[r].set(piece);
           picker_.add_availability(piece);
         }
       }
-      stats_[p].pieces = have_[p].count();
-      if (have_[p].complete()) {
+      stats_[r].pieces = have_[r].count();
+      if (have_[r].complete()) {
         // The Bernoulli draws can complete a leecher outright; treat it
         // like a round-0 completion so it never divides by the full run
         // length in leech_download_kbps() and departs consistently.
-        stats_[p].completion_round = 0.0;
-        if (!config.stay_as_seed) depart_peer(static_cast<core::PeerId>(p), 0.0);
+        stats_[r].completion_round = 0.0;
+        if (!config.stay_as_seed) depart_peer(id, 0.0);
       }
     }
   }
-  leechers_ = detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
+  refresh_ranks_force();
 }
 
-std::size_t Swarm::slot_of(core::PeerId p, core::PeerId q) const {
-  const auto& row = nbr_[p];
+std::size_t Swarm::slot_of(Row pr, core::PeerId q) const {
+  const auto& row = nbr_[pr];
   const auto it = std::lower_bound(row.begin(), row.end(), q);
-  return nslot_[p][static_cast<std::size_t>(it - row.begin())];
+  return nslot_[pr][static_cast<std::size_t>(it - row.begin())];
 }
 
 std::size_t Swarm::target_degree() const {
@@ -171,49 +178,53 @@ void Swarm::connect(core::PeerId p, core::PeerId q) {
   edge_peer_[sqp] = p;
   mirror_[spq] = sqp;
   mirror_[sqp] = spq;
-  const auto insert_row = [this](core::PeerId owner, core::PeerId nb, std::size_t slot) {
+  const auto insert_row = [this](Row owner, core::PeerId nb, std::size_t slot) {
     auto& row = nbr_[owner];
     const auto it = std::lower_bound(row.begin(), row.end(), nb);
     const auto idx = it - row.begin();
     row.insert(it, nb);
     nslot_[owner].insert(nslot_[owner].begin() + idx, slot);
   };
-  insert_row(p, q, spq);
-  insert_row(q, p, sqp);
+  insert_row(table_.row_of(p), q, spq);
+  insert_row(table_.row_of(q), p, sqp);
 }
 
 void Swarm::flush_mutual(core::PeerId p, core::PeerId q, std::size_t slot_min) {
   if (mutual_rounds_[slot_min] == 0) return;
-  const core::PeerId a = std::min(p, q);
-  const core::PeerId b = std::max(p, q);
-  retired_mutual_.emplace_back((static_cast<std::uint64_t>(a) << 32) | b,
-                               mutual_rounds_[slot_min]);
+  if (config_.retain_departed) {
+    const core::PeerId a = std::min(p, q);
+    const core::PeerId b = std::max(p, q);
+    retired_mutual_.emplace_back((static_cast<std::uint64_t>(a) << 32) | b,
+                                 mutual_rounds_[slot_min]);
+  }
   mutual_rounds_[slot_min] = 0;
 }
 
-void Swarm::release_all_edges(core::PeerId p) {
-  for (std::size_t i = 0; i < nbr_[p].size(); ++i) {
-    const core::PeerId q = nbr_[p][i];
-    const std::size_t spq = nslot_[p][i];
+void Swarm::release_all_edges(core::PeerId p, Row pr) {
+  for (std::size_t i = 0; i < nbr_[pr].size(); ++i) {
+    const core::PeerId q = nbr_[pr][i];
+    const std::size_t spq = nslot_[pr][i];
     const std::size_t sqp = mirror_[spq];
     flush_mutual(p, q, p < q ? spq : sqp);
     release_slot(spq);
     release_slot(sqp);
-    auto& qrow = nbr_[q];
+    const Row qr = table_.row_of(q);
+    auto& qrow = nbr_[qr];
     const auto it = std::lower_bound(qrow.begin(), qrow.end(), p);
     const auto idx = it - qrow.begin();
     qrow.erase(it);
-    nslot_[q].erase(nslot_[q].begin() + idx);
+    nslot_[qr].erase(nslot_[qr].begin() + idx);
   }
-  nbr_[p].clear();
-  nslot_[p].clear();
+  nbr_[pr].clear();
+  nslot_[pr].clear();
 }
 
 std::size_t Swarm::connect_random_live(core::PeerId p, std::size_t need) {
+  const Row pr = table_.row_of(p);
   return detail::announce_connect(
-      live_ids_, departed_, stats_.size(), p, need, rng_,
+      table_.ids(), p, need, rng_,
       [&](core::PeerId q) {
-        return std::binary_search(nbr_[p].begin(), nbr_[p].end(), q);
+        return std::binary_search(nbr_[pr].begin(), nbr_[pr].end(), q);
       },
       [&](core::PeerId q) { connect(p, q); });
 }
@@ -223,27 +234,26 @@ core::PeerId Swarm::join(double upload_kbps, const Bitfield& have) {
     throw std::invalid_argument("Swarm::join: bitfield size mismatch");
   }
   if (upload_kbps <= 0.0) throw std::invalid_argument("Swarm::join: capacity must be positive");
-  const auto p = static_cast<core::PeerId>(stats_.size());
+  const auto p = static_cast<core::PeerId>(table_.id_space());
+  const Row r = table_.add(p);
   stats_.emplace_back();
-  stats_[p].upload_kbps = upload_kbps;
-  stats_[p].join_round = static_cast<double>(round_);
-  stats_[p].pieces = have.count();
+  stats_[r].upload_kbps = upload_kbps;
+  stats_[r].join_round = static_cast<double>(round_);
+  stats_[r].pieces = have.count();
   have_.push_back(have);
   picker_.add_bitfield(have);
   chokers_.emplace_back(config_.tft_slots, config_.optimistic_rounds);
   unchoked_.emplace_back();
   partial_.emplace_back();
-  departed_.push_back(false);
   nbr_.emplace_back();
   nslot_.emplace_back();
-  detail::live_insert(live_ids_, live_ix_, stats_.size(), p);
   ++arrivals_;
   // Tracker announce: uniform picks from the live population.
   connect_random_live(p, target_degree());
   ++leechers_;
   ranks_dirty_ = true;
-  if (have_[p].complete()) {
-    stats_[p].completion_round = static_cast<double>(round_);
+  if (have_[r].complete()) {
+    stats_[r].completion_round = static_cast<double>(round_);
     if (!config_.stay_as_seed) depart_peer(p, static_cast<double>(round_));
   }
   return p;
@@ -254,132 +264,174 @@ core::PeerId Swarm::join(double upload_kbps) {
 }
 
 void Swarm::leave(core::PeerId p) {
-  if (departed_.at(p)) return;
+  if (p >= table_.id_space()) throw std::out_of_range("Swarm::leave: unknown peer");
+  if (!table_.contains(p)) return;
   depart_peer(p, static_cast<double>(round_));
 }
 
 std::size_t Swarm::reannounce(core::PeerId p) {
-  if (departed_.at(p)) return 0;
+  if (p >= table_.id_space()) throw std::out_of_range("Swarm::reannounce: unknown peer");
+  const Row pr = table_.row_of(p);
+  if (pr == PeerTable::kNoRow) return 0;
   const std::size_t target = target_degree();
-  if (nbr_[p].size() >= target) return 0;
-  return connect_random_live(p, target - nbr_[p].size());
-}
-
-bool Swarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
-  return have_[receiver].interested_in(have_[sender]);
+  if (nbr_[pr].size() >= target) return 0;
+  return connect_random_live(p, target - nbr_[pr].size());
 }
 
 void Swarm::choke_step() {
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (departed_[p]) {
-      unchoked_[p].clear();
-      continue;
-    }
-    const auto& row = nbr_[p];
-    const auto& slots = nslot_[p];
+  for (Row r = 0; r < table_.size(); ++r) {
+    const auto& row = nbr_[r];
+    const auto& slots = nslot_[r];
     std::vector<ChokeCandidate> candidates;
     candidates.reserve(row.size());
-    const bool serve_fastest = stats_[p].seed || have_[p].complete();
+    const bool serve_fastest = stats_[r].seed || have_[r].complete();
     // Adjacency rows never contain departed peers (their edges were
     // released), so every neighbor is a candidate.
     for (std::size_t i = 0; i < row.size(); ++i) {
       const core::PeerId q = row[i];
       ChokeCandidate c;
       c.peer = q;
-      c.interested = wants_from(q, p);
+      c.interested = wants_from(table_.row_of(q), r);
       // Seed policy: serve the fastest downloaders.
       c.score = serve_fastest ? rate_out_[slots[i]] : rate_in_[slots[i]];
       candidates.push_back(c);
     }
-    unchoked_[p] = chokers_[p].select(std::move(candidates), rng_);
+    unchoked_[r] = chokers_[r].select(std::move(candidates), rng_);
   }
 }
 
 void Swarm::count_incoming_unchokes() {
-  detail::count_incoming_unchokes(unchoked_, incoming_unchokes_);
+  incoming_unchokes_.assign(table_.size(), 0);
+  for (Row r = 0; r < table_.size(); ++r) {
+    for (const core::PeerId q : unchoked_[r]) ++incoming_unchokes_[table_.row_of(q)];
+  }
 }
 
 void Swarm::record_mutual_unchokes() {
   // Mutual unchokes among present, still-downloading leechers: these
   // are the effective TFT collaborations the matching model describes.
-  // Departed peers have empty unchoke sets and released edges, so every
-  // counted round had both endpoints in the swarm.
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (!is_leecher(p) || have_[p].complete()) continue;
-    for (core::PeerId q : unchoked_[p]) {
-      if (q <= p || !is_leecher(q) || have_[q].complete()) continue;
-      const auto& back = unchoked_[q];
+  // No departures can occur between the choke step and here, so every
+  // unchoked target still owns a live row.
+  for (Row r = 0; r < table_.size(); ++r) {
+    if (stats_[r].seed || have_[r].complete()) continue;
+    const core::PeerId p = table_.id_at(r);
+    for (core::PeerId q : unchoked_[r]) {
+      if (q <= p) continue;
+      const Row qr = table_.row_of(q);
+      if (stats_[qr].seed || have_[qr].complete()) continue;
+      const auto& back = unchoked_[qr];
       if (std::find(back.begin(), back.end(), p) != back.end()) {
-        ++mutual_rounds_[slot_of(p, q)];
+        ++mutual_rounds_[slot_of(r, q)];
       }
     }
   }
 }
 
-std::optional<PieceId> Swarm::pick_for(core::PeerId q, core::PeerId p, std::size_t slot_qp) {
+std::optional<PieceId> Swarm::pick_for(Row qr, Row pr, std::size_t slot_qp) {
   if (config_.endgame) {
-    const std::size_t missing = config_.num_pieces - stats_[q].pieces;
-    if (missing >= incoming_unchokes_[q]) {
+    const std::size_t missing = config_.num_pieces - stats_[qr].pieces;
+    if (missing >= incoming_unchokes_[qr]) {
       // Non-endgame phase: each sender gets a distinct missing piece —
       // exclude pieces already in flight to q from other neighbors.
       for (const PieceId piece : reserved_list_) reserved_scratch_.reset(piece);
       reserved_list_.clear();
-      const auto& slots = nslot_[q];
+      const auto& slots = nslot_[qr];
       for (const std::size_t s : slots) {
         if (s == slot_qp) continue;
         const PieceId t = inflight_[s];
-        if (t != kNoPiece && !have_[q].test(t)) {
+        if (t != kNoPiece && !have_[qr].test(t)) {
           reserved_scratch_.set(t);
           reserved_list_.push_back(t);
         }
       }
-      return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng_);
+      return picker_.pick_rarest(have_[qr], have_[pr], reserved_scratch_, rng_);
     }
     // Endgame phase: the missing set is smaller than the receiver's
     // inbound unchoke count — duplicate in-flight targets are allowed
     // (first completion cancels the rest via the staleness re-pick).
   }
-  return picker_.pick_rarest(have_[q], have_[p], rng_);
+  return picker_.pick_rarest(have_[qr], have_[pr], rng_);
 }
 
-void Swarm::complete_piece(core::PeerId p, PieceId piece) {
-  have_[p].set(piece);
+void Swarm::complete_piece(core::PeerId q, Row qr, PieceId piece) {
+  have_[qr].set(piece);
   picker_.add_availability(piece);
-  stats_[p].pieces = have_[p].count();
-  if (have_[p].complete() && stats_[p].completion_round < 0.0) {
-    stats_[p].completion_round = static_cast<double>(round_ + 1);
-    if (!config_.stay_as_seed && !stats_[p].seed) {
-      depart_peer(p, static_cast<double>(round_ + 1));
+  stats_[qr].pieces = have_[qr].count();
+  if (have_[qr].complete() && stats_[qr].completion_round < 0.0) {
+    stats_[qr].completion_round = static_cast<double>(round_ + 1);
+    if (!config_.stay_as_seed && !stats_[qr].seed) {
+      depart_peer(q, static_cast<double>(round_ + 1));
     }
   }
 }
 
 void Swarm::depart_peer(core::PeerId p, double when) {
-  departed_[p] = true;
-  stats_[p].leave_round = when;
-  detail::live_remove(live_ids_, live_ix_, p);
+  const Row pr = table_.row_of(p);
+  stats_[pr].leave_round = when;
   ++departures_;
   // Its copies leave the swarm: rarest-first must stop counting them.
-  picker_.remove_bitfield(have_[p]);
-  partial_[p].clear();
-  unchoked_[p].clear();
-  release_all_edges(p);
+  picker_.remove_bitfield(have_[pr]);
+  partial_[pr].clear();
+  unchoked_[pr].clear();
+  release_all_edges(p, pr);
+  if (!stats_[pr].seed && stats_[pr].pieces == config_.num_pieces) ++retired_completed_;
+  if (config_.retain_departed) {
+    if (retired_ix_.size() < table_.id_space()) {
+      retired_ix_.resize(table_.id_space(), kNoRetired);
+    }
+    retired_ix_[p] = static_cast<std::uint32_t>(retired_stats_.size());
+    retired_stats_.push_back(stats_[pr]);
+  } else {
+    // Live-only bandwidth ranks change when the live set shrinks.
+    ranks_dirty_ = true;
+  }
+  // Compact the row space: the table swaps the last row's occupant into
+  // the hole, and every row-indexed container mirrors that move.
+  const auto rem = table_.remove(p);
+  const auto last = static_cast<Row>(table_.size());  // the old last row
+  if (rem.row != last) {
+    stats_[rem.row] = stats_[last];
+    have_[rem.row] = std::move(have_[last]);
+    chokers_[rem.row] = std::move(chokers_[last]);
+    unchoked_[rem.row] = std::move(unchoked_[last]);
+    nbr_[rem.row] = std::move(nbr_[last]);
+    nslot_[rem.row] = std::move(nslot_[last]);
+    partial_[rem.row] = std::move(partial_[last]);
+    // Mid-round (endgame) the incoming counts are row-aligned too.
+    if (incoming_unchokes_.size() == static_cast<std::size_t>(last) + 1) {
+      incoming_unchokes_[rem.row] = incoming_unchokes_[last];
+    }
+  }
+  stats_.pop_back();
+  have_.pop_back();
+  chokers_.pop_back();
+  unchoked_.pop_back();
+  nbr_.pop_back();
+  nslot_.pop_back();
+  partial_.pop_back();
+  if (incoming_unchokes_.size() == static_cast<std::size_t>(last) + 1) {
+    incoming_unchokes_.pop_back();
+  }
 }
 
 double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget) {
-  const std::size_t slot_qp = mirror_[slot_pq];  // receiver-owned slot
   double remaining = budget;
   // Apply bytes to pieces until the budget is spent or q stops wanting
-  // anything p has.
+  // anything p has. Rows are re-resolved every pass: a completion can
+  // depart q (or compact p's row) mid-transfer.
   while (remaining > 0.0) {
+    const Row qr = table_.row_of(q);
+    if (qr == PeerTable::kNoRow) break;  // q completed and departed
+    const Row pr = table_.row_of(p);
+    const std::size_t slot_qp = mirror_[slot_pq];  // receiver-owned slot
     PieceId target = inflight_[slot_qp];
-    if (target == kNoPiece || have_[q].test(target) || !have_[p].test(target)) {
-      const auto pick = pick_for(q, p, slot_qp);
+    if (target == kNoPiece || have_[qr].test(target) || !have_[pr].test(target)) {
+      const auto pick = pick_for(qr, pr, slot_qp);
       if (!pick) break;
       target = *pick;
       inflight_[slot_qp] = target;
     }
-    auto& partial = partial_[q];
+    auto& partial = partial_[qr];
     auto it = std::find_if(partial.begin(), partial.end(),
                            [&](const auto& entry) { return entry.first == target; });
     if (it == partial.end()) {
@@ -390,33 +442,42 @@ double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, doubl
     const double chunk = std::min(need, remaining);
     it->second += chunk;
     remaining -= chunk;
-    stats_[p].uploaded_kb += chunk;
-    stats_[q].downloaded_kb += chunk;
+    stats_[pr].uploaded_kb += chunk;
+    stats_[qr].downloaded_kb += chunk;
     now_in_[slot_qp] += chunk;
     now_out_[slot_pq] += chunk;
     if (it->second >= config_.piece_kb - 1e-9) {
       partial.erase(it);
       inflight_[slot_qp] = kNoPiece;
-      complete_piece(q, target);
+      complete_piece(q, qr, target);
     }
   }
   return budget - remaining;
 }
 
 void Swarm::transfer_step() {
+  // Sender order snapshot by external id: completion departures compact
+  // rows mid-phase, so iterating rows directly would skip or repeat
+  // peers. A sender that departed mid-round resolves to no row and is
+  // skipped (its unchoke set was cleared anyway).
+  order_scratch_.assign(table_.ids().begin(), table_.ids().end());
   // (receiver, sender-side slot): the slot is loop-invariant per pair,
   // so resolve it once instead of per redistribution pass.
   std::vector<std::pair<core::PeerId, std::size_t>> hungry;
   std::vector<std::pair<core::PeerId, std::size_t>> next_hungry;
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
+  for (const core::PeerId p : order_scratch_) {
+    const Row pr = table_.row_of(p);
+    if (pr == PeerTable::kNoRow) continue;
     // Active transfers: unchoked neighbors that actually want data.
     hungry.clear();
-    for (core::PeerId q : unchoked_[p]) {
-      if (wants_from(q, p)) hungry.emplace_back(q, slot_of(p, q));
+    for (core::PeerId q : unchoked_[pr]) {
+      const Row qr = table_.row_of(q);
+      if (qr == PeerTable::kNoRow) continue;  // completed and departed this round
+      if (wants_from(qr, pr)) hungry.emplace_back(q, slot_of(pr, q));
     }
     if (hungry.empty()) continue;
     // kbps -> KB per round.
-    const double budget = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+    const double budget = stats_[pr].upload_kbps / 8.0 * config_.round_seconds;
     detail::redistribute_upload(budget, hungry, next_hungry,
                                 [&](const std::pair<core::PeerId, std::size_t>& item,
                                     double share) {
@@ -456,16 +517,42 @@ void Swarm::reset_stratification() {
   retired_mutual_.clear();
 }
 
+const PeerStats& Swarm::stats(core::PeerId p) const {
+  const Row r = table_.row_of(p);
+  if (r != PeerTable::kNoRow) return stats_[r];
+  if (p >= table_.id_space()) throw std::out_of_range("Swarm::stats: unknown peer");
+  if (!config_.retain_departed || p >= retired_ix_.size() || retired_ix_[p] == kNoRetired) {
+    throw std::out_of_range("Swarm::stats: departed peer not retained");
+  }
+  return retired_stats_[retired_ix_[p]];
+}
+
+bool Swarm::departed(core::PeerId p) const {
+  if (p >= table_.id_space()) throw std::out_of_range("Swarm::departed: unknown peer");
+  return !table_.contains(p);
+}
+
+std::span<const core::PeerId> Swarm::neighbors(core::PeerId p) const {
+  const Row r = table_.row_of(p);
+  if (r == PeerTable::kNoRow) {
+    if (p >= table_.id_space()) throw std::out_of_range("Swarm::neighbors: unknown peer");
+    return {};
+  }
+  return {nbr_[r].data(), nbr_[r].size()};
+}
+
 std::size_t Swarm::completed_leechers() const {
-  std::size_t done = 0;
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (is_leecher(p) && have_[p].complete()) ++done;
+  // O(live) + the running count of departed-complete leechers — the
+  // bitwise equivalent of scanning every bitfield ever.
+  std::size_t done = retired_completed_;
+  for (Row r = 0; r < table_.size(); ++r) {
+    if (!stats_[r].seed && have_[r].complete()) ++done;
   }
   return done;
 }
 
 double Swarm::mean_download_kbps(core::PeerId p) const {
-  const PeerStats& s = stats_.at(p);
+  const PeerStats& s = stats(p);
   const double end = s.leave_round >= 0.0 ? s.leave_round : static_cast<double>(round_);
   const double rounds = end - s.join_round;
   if (rounds <= 0.0) return 0.0;
@@ -473,7 +560,7 @@ double Swarm::mean_download_kbps(core::PeerId p) const {
 }
 
 double Swarm::leech_download_kbps(core::PeerId p) const {
-  const PeerStats& s = stats_.at(p);
+  const PeerStats& s = stats(p);
   const double end = s.completion_round >= 0.0
                          ? s.completion_round
                          : (s.leave_round >= 0.0 ? s.leave_round : static_cast<double>(round_));
@@ -504,20 +591,43 @@ Swarm::AvailabilityStats Swarm::availability_stats() const {
   return out;
 }
 
+void Swarm::refresh_ranks_force() const {
+  if (config_.retain_departed) {
+    leechers_ranked_ = detail::rebuild_bandwidth_ranks_by(
+        table_.id_space(), [&](core::PeerId p) -> const PeerStats& { return stats(p); },
+        bandwidth_rank_);
+  } else {
+    // Without the archive, departed capacities are gone: rank the live
+    // leechers only (same shared (capacity desc, id asc) assignment).
+    std::vector<core::PeerId> order;
+    order.reserve(table_.size());
+    for (Row r = 0; r < table_.size(); ++r) {
+      if (!stats_[r].seed) order.push_back(table_.id_at(r));
+    }
+    detail::assign_capacity_ranks(
+        order, [&](core::PeerId p) { return stats_[table_.row_of(p)].upload_kbps; },
+        table_.id_space(), bandwidth_rank_);
+    leechers_ranked_ = order.size();
+  }
+  ranks_dirty_ = false;
+}
+
 void Swarm::refresh_ranks() const {
   if (!ranks_dirty_) return;
-  detail::rebuild_bandwidth_ranks(stats_, bandwidth_rank_);
-  ranks_dirty_ = false;
+  refresh_ranks_force();
 }
 
 std::vector<std::pair<core::PeerId, core::PeerId>> Swarm::reciprocated_pairs() const {
   refresh_ranks();
   std::vector<std::pair<core::PeerId, core::PeerId>> pairs;
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (!is_leecher(p)) continue;
-    for (core::PeerId q : unchoked_[p]) {
-      if (q <= p || !is_leecher(q)) continue;
-      const auto& back = unchoked_[q];
+  for (Row r = 0; r < table_.size(); ++r) {
+    if (stats_[r].seed) continue;
+    const core::PeerId p = table_.id_at(r);
+    for (core::PeerId q : unchoked_[r]) {
+      if (q <= p) continue;
+      const Row qr = table_.row_of(q);
+      if (qr == PeerTable::kNoRow || stats_[qr].seed) continue;
+      const auto& back = unchoked_[qr];
       if (std::find(back.begin(), back.end(), p) != back.end()) {
         if (bandwidth_rank_[p] <= bandwidth_rank_[q]) {
           pairs.emplace_back(p, q);
@@ -538,13 +648,16 @@ StratificationReport Swarm::stratification() const {
   // disconnected-then-reconnected pair counts once — exactly the
   // map-per-pair semantics of ReferenceSwarm.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> records = retired_mutual_;
-  for (core::PeerId p = 0; p < stats_.size(); ++p) {
-    if (!is_leecher(p)) continue;
-    const auto& row = nbr_[p];
+  for (Row r = 0; r < table_.size(); ++r) {
+    if (stats_[r].seed) continue;
+    const core::PeerId p = table_.id_at(r);
+    const auto& row = nbr_[r];
     for (std::size_t i = 0; i < row.size(); ++i) {
       const core::PeerId q = row[i];
-      if (q <= p || !is_leecher(q)) continue;
-      const std::uint32_t rounds = mutual_rounds_[nslot_[p][i]];
+      if (q <= p) continue;
+      const Row qr = table_.row_of(q);
+      if (stats_[qr].seed) continue;
+      const std::uint32_t rounds = mutual_rounds_[nslot_[r][i]];
       if (rounds == 0) continue;
       records.emplace_back((static_cast<std::uint64_t>(p) << 32) | q, rounds);
     }
@@ -559,13 +672,16 @@ StratificationReport Swarm::stratification() const {
   }
   records.resize(merged);
 
+  // Offsets are normalized by the leecher population the ranks cover:
+  // leechers-ever with the archive, live leechers without it.
+  const std::size_t norm = config_.retain_departed ? leechers_ : leechers_ranked_;
   report.reciprocated_pairs = records.size();
-  if (records.empty() || leechers_ < 3) return report;
+  if (records.empty() || norm < 3) return report;
 
   double offset_sum = 0.0;
   double weight_sum = 0.0;
-  std::vector<double> partner_rank_sum(stats_.size(), 0.0);
-  std::vector<double> partner_weight(stats_.size(), 0.0);
+  std::vector<double> partner_rank_sum(table_.id_space(), 0.0);
+  std::vector<double> partner_weight(table_.id_space(), 0.0);
   // Pair order = (a ascending, b ascending): deterministic accumulation
   // shared with ReferenceSwarm.
   for (const auto& [key, rounds] : records) {
@@ -574,7 +690,7 @@ StratificationReport Swarm::stratification() const {
     const double w = static_cast<double>(rounds);
     const double ra = static_cast<double>(bandwidth_rank_[a]);
     const double rb = static_cast<double>(bandwidth_rank_[b]);
-    offset_sum += w * std::abs(ra - rb) / static_cast<double>(leechers_);
+    offset_sum += w * std::abs(ra - rb) / static_cast<double>(norm);
     weight_sum += w;
     partner_rank_sum[a] += w * rb;
     partner_weight[a] += w;
@@ -585,7 +701,7 @@ StratificationReport Swarm::stratification() const {
 
   std::vector<double> own;
   std::vector<double> partner;
-  for (std::size_t p = 0; p < stats_.size(); ++p) {
+  for (std::size_t p = 0; p < partner_weight.size(); ++p) {
     if (partner_weight[p] == 0.0) continue;
     own.push_back(static_cast<double>(bandwidth_rank_[p]));
     partner.push_back(partner_rank_sum[p] / partner_weight[p]);
@@ -594,6 +710,31 @@ StratificationReport Swarm::stratification() const {
     report.partner_rank_correlation = sim::spearman(own, partner);
   }
   return report;
+}
+
+Swarm::MemoryFootprint Swarm::memory_footprint() const {
+  MemoryFootprint out;
+  out.live_peers = table_.size();
+  const auto flat = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  const auto nested = [&flat](const auto& outer) {
+    std::size_t bytes = flat(outer);
+    for (const auto& inner : outer) bytes += flat(inner);
+    return bytes;
+  };
+  out.peer_state_bytes = table_.row_bytes() + flat(stats_) + flat(chokers_) +
+                         nested(unchoked_) + nested(nbr_) + nested(nslot_) + nested(partial_) +
+                         flat(incoming_unchokes_) + flat(order_scratch_);
+  for (const Bitfield& b : have_) {
+    out.peer_state_bytes += sizeof(Bitfield) + b.words().size() * sizeof(std::uint64_t);
+  }
+  out.edge_slot_bytes = flat(edge_peer_) + flat(mirror_) + flat(slot_gen_) + flat(free_slots_) +
+                        flat(rate_in_) + flat(now_in_) + flat(rate_out_) + flat(now_out_) +
+                        flat(inflight_) + flat(mutual_rounds_);
+  out.id_index_bytes = table_.id_map_bytes() + flat(retired_ix_) + flat(bandwidth_rank_);
+  out.retired_bytes = flat(retired_stats_) + flat(retired_mutual_);
+  return out;
 }
 
 }  // namespace strat::bt

@@ -14,13 +14,29 @@
 // already equalized block repartition); flash-crowd mode starts all
 // leechers empty with `seeds` complete peers.
 //
+// Peer lifecycle: external `core::PeerId`s are arrival-ordered and
+// stable forever — they are what join()/leave()/stats() and every
+// report speak. Internally a PeerTable maps them to *dense rows*, and
+// all per-peer state (stats, bitfields, chokers, adjacency rows,
+// partial-piece progress) is row-indexed; a departure archives the
+// peer's final PeerStats into a retired record and compacts its row
+// away (swap-with-last, generation-stamped). Per-peer loops therefore
+// cost O(live population) and per-peer memory O(live + retired
+// records) no matter how many peers ever churned through — the regime
+// the paper's Figure 3 replacement process generates. Set
+// SwarmConfig::retain_departed = false to drop even the per-departure
+// archive (aggregates only), for week-long open-system runs at truly
+// flat memory.
+//
 // Data plane: a *dynamic* overlay over flat edge-slot arrays with slot
 // recycling. Every directed (peer, neighbor) pair owns one slot in a
 // preallocated pool; all per-neighbor state (smoothed rate estimates,
 // in-flight piece locks, mutual-unchoke counters) is indexed by slot,
 // so a round stays O(edges) with no hashing or allocation on the hot
 // path. Per-peer adjacency is a pair of parallel, neighbor-sorted
-// vectors (neighbor id, slot id) that remain valid across mutations:
+// vectors (neighbor id, slot id) held on the owner's row; entries name
+// *external* ids (stable across row compaction), resolved to rows via
+// the table's O(1) map on use:
 //
 //  - leave()/completion departures release both directed slots of each
 //    incident edge onto a free list (state zeroed, generation stamp
@@ -36,8 +52,9 @@
 //
 // See reference_swarm.hpp for the retained map-based implementation:
 // both planes implement the same operations in strict FP + RNG
-// lockstep and are differential-tested for bitwise equality, churned
-// runs included.
+// lockstep — including identical PeerTable compaction decisions, so
+// their row iteration orders match — and are differential-tested for
+// bitwise equality, churned runs included.
 #pragma once
 
 #include <algorithm>
@@ -49,6 +66,7 @@
 #include <vector>
 
 #include "bittorrent/choker.hpp"
+#include "bittorrent/peer_table.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "core/types.hpp"
 #include "graph/rng.hpp"
@@ -91,6 +109,16 @@ struct SwarmConfig {
   /// first completion cancels every other in-flight request for that
   /// piece (stale targets are re-picked on the sender's next transfer).
   bool endgame = false;
+  /// Keep one archived PeerStats record per departed peer (default),
+  /// so stats()/leech_download_kbps()/stratification() keep answering
+  /// for every peer that ever joined. false = fold departures into
+  /// aggregate counters only: per-departed-peer queries throw,
+  /// stratification covers live pairs only, and total peer-state
+  /// memory stays flat across unbounded cumulative arrivals (the
+  /// 10^6-arrival open-system regime). Flat-plane only: ReferenceSwarm
+  /// and the scenario summaries (run_scenario/run_multi_swarm) need
+  /// the archive and reject this flag.
+  bool retain_departed = true;
 };
 
 /// Per-peer accounting, exposed for metrics.
@@ -173,48 +201,18 @@ inline std::vector<core::PeerId> sample_without_replacement(std::vector<core::Pe
   return out;
 }
 
-/// Registers `p` in a dense live-peer list (ids + id->index map).
-/// Shared by both data planes so the announce rejection sampling draws
-/// from identically ordered lists.
-inline void live_insert(std::vector<core::PeerId>& ids, std::vector<std::size_t>& ix,
-                        std::size_t peer_count, core::PeerId p) {
-  ix.resize(peer_count, std::numeric_limits<std::size_t>::max());
-  ix[p] = ids.size();
-  ids.push_back(p);
-}
-
-/// Swap-removes `p` from the dense live-peer list.
-inline void live_remove(std::vector<core::PeerId>& ids, std::vector<std::size_t>& ix,
-                        core::PeerId p) {
-  const std::size_t at = ix[p];
-  ix[ids.back()] = at;
-  ids[at] = ids.back();
-  ids.pop_back();
-  ix[p] = std::numeric_limits<std::size_t>::max();
-}
-
-/// Per-peer inbound-unchoke counts for the endgame phase test, from
-/// this round's unchoke sets. Shared by both data planes.
-inline void count_incoming_unchokes(const std::vector<std::vector<core::PeerId>>& unchoked,
-                                    std::vector<std::uint32_t>& incoming) {
-  incoming.assign(unchoked.size(), 0);
-  for (const auto& row : unchoked) {
-    for (const core::PeerId q : row) ++incoming[q];
-  }
-}
-
 /// The tracker announce: connects `p` to up to `need` distinct live
 /// non-neighbors chosen uniformly. Rejection-samples the dense live
-/// list (O(need) against a large population), falling back to an exact
-/// candidate scan + sample when the population is nearly exhausted.
+/// table (O(need) against a large population), falling back to an
+/// exact candidate scan — over the *live table*, never the
+/// arrivals-ever id space — when the population is nearly exhausted.
 /// Parameterized on the plane's edge test and connect primitive — one
 /// definition shared by both data planes so the accept/reject RNG
 /// draw sequence cannot drift. Returns the connections made.
 template <typename HasEdgeFn, typename ConnectFn>
-std::size_t announce_connect(const std::vector<core::PeerId>& live_ids,
-                             const std::vector<bool>& departed, std::size_t peer_count,
-                             core::PeerId p, std::size_t need, graph::Rng& rng,
-                             HasEdgeFn&& has_edge, ConnectFn&& connect) {
+std::size_t announce_connect(std::span<const core::PeerId> live_ids, core::PeerId p,
+                             std::size_t need, graph::Rng& rng, HasEdgeFn&& has_edge,
+                             ConnectFn&& connect) {
   std::size_t made = 0;
   std::size_t attempts = 0;
   const std::size_t cap = 8 * need + 64;
@@ -228,8 +226,8 @@ std::size_t announce_connect(const std::vector<core::PeerId>& live_ids,
   if (made < need) {
     std::vector<core::PeerId> candidates;
     candidates.reserve(live_ids.size());
-    for (core::PeerId q = 0; q < peer_count; ++q) {
-      if (q == p || departed[q] || has_edge(q)) continue;
+    for (const core::PeerId q : live_ids) {
+      if (q == p || has_edge(q)) continue;
       candidates.push_back(q);
     }
     const auto chosen = sample_without_replacement(candidates, need - made, rng);
@@ -239,26 +237,51 @@ std::size_t announce_connect(const std::vector<core::PeerId>& live_ids,
   return made;
 }
 
-/// Recomputes leecher bandwidth ranks (0 = fastest; ties by id) into
-/// `rank`, indexed by peer id (seed entries stay 0 and are never read).
-/// Returns the leecher count. Shared by both data planes: stratification
-/// output is bitwise-compared between them.
-inline std::size_t rebuild_bandwidth_ranks(const std::vector<PeerStats>& stats,
-                                           std::vector<std::size_t>& rank) {
-  std::vector<core::PeerId> order;
-  order.reserve(stats.size());
-  for (std::size_t p = 0; p < stats.size(); ++p) {
-    if (!stats[p].seed) order.push_back(static_cast<core::PeerId>(p));
-  }
+/// Sorts `order` (external leecher ids) by (capacity desc, id asc) and
+/// writes dense ranks indexed by external id over [0, rank_size)
+/// (entries outside `order` stay 0 and are never read). The one
+/// rank-assignment definition every caller shares, so the tie-break
+/// cannot drift between data planes or retention modes.
+template <typename CapacityFn>
+void assign_capacity_ranks(std::vector<core::PeerId>& order, CapacityFn&& capacity_of,
+                           std::size_t rank_size, std::vector<std::size_t>& rank) {
   std::sort(order.begin(), order.end(), [&](core::PeerId a, core::PeerId b) {
-    if (stats[a].upload_kbps != stats[b].upload_kbps) {
-      return stats[a].upload_kbps > stats[b].upload_kbps;
-    }
+    const double ca = capacity_of(a);
+    const double cb = capacity_of(b);
+    if (ca != cb) return ca > cb;
     return a < b;
   });
-  rank.assign(stats.size(), 0);
+  rank.assign(rank_size, 0);
   for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+}
+
+/// Recomputes leecher bandwidth ranks into `rank`, indexed by external
+/// peer id over [0, peer_count) with `stats_of(id)` supplying each
+/// peer's record. Returns the leecher count. Shared by both data
+/// planes: stratification output is bitwise-compared between them, and
+/// the accessor indirection lets the flat plane serve departed peers
+/// from its retired archive.
+template <typename StatsFn>
+std::size_t rebuild_bandwidth_ranks_by(std::size_t peer_count, StatsFn&& stats_of,
+                                       std::vector<std::size_t>& rank) {
+  std::vector<core::PeerId> order;
+  order.reserve(peer_count);
+  for (std::size_t p = 0; p < peer_count; ++p) {
+    if (!stats_of(static_cast<core::PeerId>(p)).seed) {
+      order.push_back(static_cast<core::PeerId>(p));
+    }
+  }
+  assign_capacity_ranks(
+      order, [&](core::PeerId p) { return stats_of(p).upload_kbps; }, peer_count, rank);
   return order.size();
+}
+
+/// Convenience overload for a plane that keeps PeerStats densely
+/// indexed by external id (the reference plane).
+inline std::size_t rebuild_bandwidth_ranks(const std::vector<PeerStats>& stats,
+                                           std::vector<std::size_t>& rank) {
+  return rebuild_bandwidth_ranks_by(
+      stats.size(), [&](core::PeerId p) -> const PeerStats& { return stats[p]; }, rank);
 }
 
 }  // namespace detail
@@ -266,6 +289,8 @@ inline std::size_t rebuild_bandwidth_ranks(const std::vector<PeerStats>& stats,
 /// The simulator.
 class Swarm {
  public:
+  using Row = PeerTable::Row;
+
   /// `upload_kbps` has one entry per leecher; seeds reuse the top
   /// capacity. Throws std::invalid_argument on inconsistent inputs.
   Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::Rng& rng);
@@ -283,7 +308,8 @@ class Swarm {
   /// it connects to up to llround(neighbor_degree) live peers chosen
   /// uniformly from the current population, deterministic from the
   /// swarm RNG. Returns the new peer id. Edge slots are recycled from
-  /// the free list before the pool grows.
+  /// the free list before the pool grows, and the peer claims a dense
+  /// table row.
   core::PeerId join(double upload_kbps, const Bitfield& have);
 
   /// join() with an empty bitfield (a flash-crowd arrival).
@@ -291,8 +317,10 @@ class Swarm {
 
   /// Voluntary (possibly seedless) departure: drops the peer's piece
   /// copies from availability, discards partial/in-flight state,
-  /// releases every incident edge slot to the free list and flushes the
-  /// affected pairs' mutual-unchoke history. No-op if already departed.
+  /// releases every incident edge slot to the free list, flushes the
+  /// affected pairs' mutual-unchoke history, archives the final
+  /// PeerStats (unless retain_departed is off) and compacts the peer's
+  /// table row away. No-op if already departed.
   void leave(core::PeerId p);
 
   /// Tracker re-announce: tops p's degree back up toward
@@ -304,14 +332,25 @@ class Swarm {
   // --- queries --------------------------------------------------------
 
   [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
-  [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }
-  [[nodiscard]] const PeerStats& stats(core::PeerId p) const { return stats_.at(p); }
+
+  /// Peers ever (initial population + seeds + arrivals) — the external
+  /// id space. Backing per-peer storage is O(live), not O(this).
+  [[nodiscard]] std::size_t peer_count() const noexcept { return table_.id_space(); }
+
+  /// Final (departed) or current (live) accounting for p. Throws
+  /// std::out_of_range for unknown ids, or for departed peers when
+  /// retain_departed is off.
+  [[nodiscard]] const PeerStats& stats(core::PeerId p) const;
 
   /// True iff p was never a seed (initial leecher or join() arrival).
-  [[nodiscard]] bool is_leecher(core::PeerId p) const { return !stats_.at(p).seed; }
+  [[nodiscard]] bool is_leecher(core::PeerId p) const { return !stats(p).seed; }
 
   /// Peers currently present (never departed).
-  [[nodiscard]] std::size_t live_peer_count() const noexcept { return live_ids_.size(); }
+  [[nodiscard]] std::size_t live_peer_count() const noexcept { return table_.size(); }
+
+  /// Live external ids in dense row order (the announce sampling
+  /// order). Valid until the next join/leave.
+  [[nodiscard]] std::span<const core::PeerId> live_ids() const noexcept { return table_.ids(); }
 
   /// join() arrivals so far (excludes the initial population).
   [[nodiscard]] std::size_t arrivals() const noexcept { return arrivals_; }
@@ -319,7 +358,7 @@ class Swarm {
   /// Departures so far (voluntary and completion-driven).
   [[nodiscard]] std::size_t departures() const noexcept { return departures_; }
 
-  /// Leechers that hold every piece.
+  /// Leechers that hold every piece (live or departed-complete).
   [[nodiscard]] std::size_t completed_leechers() const;
 
   /// Mean download rate (kbps) of leecher p over its elapsed presence.
@@ -331,7 +370,9 @@ class Swarm {
   [[nodiscard]] double leech_download_kbps(core::PeerId p) const;
 
   /// Stratification metrics accumulated since construction (or the
-  /// last reset_stratification()), retired pairs included.
+  /// last reset_stratification()), retired pairs included. With
+  /// retain_departed off, only pairs whose endpoints are both still
+  /// live are reported (departed capacities are gone).
   [[nodiscard]] StratificationReport stratification() const;
 
   /// Clears the accumulated mutual-unchoke history, so stratification()
@@ -343,8 +384,8 @@ class Swarm {
   [[nodiscard]] std::vector<std::pair<core::PeerId, core::PeerId>> reciprocated_pairs() const;
 
   /// True iff p left the swarm (leave(), or completion with
-  /// stay_as_seed == false).
-  [[nodiscard]] bool departed(core::PeerId p) const { return departed_.at(p); }
+  /// stay_as_seed == false). Throws std::out_of_range for unknown ids.
+  [[nodiscard]] bool departed(core::PeerId p) const;
 
   /// Piece-availability dispersion across the swarm. The §6 assumption
   /// ("content availability is not a bottleneck") holds when rarest-
@@ -358,15 +399,14 @@ class Swarm {
   };
   [[nodiscard]] AvailabilityStats availability_stats() const;
 
-  /// Neighbor set (tracker overlay) of peer p, sorted ascending.
-  [[nodiscard]] std::span<const core::PeerId> neighbors(core::PeerId p) const {
-    return {nbr_.at(p).data(), nbr_.at(p).size()};
-  }
+  /// Neighbor set (tracker overlay) of peer p, sorted ascending by
+  /// external id. Empty for departed peers.
+  [[nodiscard]] std::span<const core::PeerId> neighbors(core::PeerId p) const;
 
-  /// Current overlay degree of p.
-  [[nodiscard]] std::size_t degree(core::PeerId p) const { return nbr_.at(p).size(); }
+  /// Current overlay degree of p (0 once departed).
+  [[nodiscard]] std::size_t degree(core::PeerId p) const { return neighbors(p).size(); }
 
-  // --- slot-pool introspection (leak/recycling invariants) ------------
+  // --- storage introspection (leak/recycling/scaling invariants) ------
 
   /// Directed edge-slot pool capacity (live + free).
   [[nodiscard]] std::size_t edge_slot_capacity() const noexcept { return edge_peer_.size(); }
@@ -382,6 +422,23 @@ class Swarm {
   /// Times slot `s` has been released back to the pool.
   [[nodiscard]] std::uint32_t slot_generation(std::size_t s) const { return slot_gen_.at(s); }
 
+  /// The dense peer table (row order, generations) for invariants.
+  [[nodiscard]] const PeerTable& peer_table() const noexcept { return table_; }
+
+  /// Where the bytes live. peer_state_bytes + edge_slot_bytes is the
+  /// hot data plane and must stay O(live population) under unbounded
+  /// churn; id_index_bytes is the O(ids-ever) price of stable external
+  /// ids (4-8 bytes per arrival); retired_bytes is the archive
+  /// (empty when retain_departed is off).
+  struct MemoryFootprint {
+    std::size_t live_peers = 0;
+    std::size_t peer_state_bytes = 0;  // row-indexed per-peer containers
+    std::size_t edge_slot_bytes = 0;   // directed edge-slot pool
+    std::size_t id_index_bytes = 0;    // id->row map + retired index
+    std::size_t retired_bytes = 0;     // archived stats + retired pair history
+  };
+  [[nodiscard]] MemoryFootprint memory_footprint() const;
+
  private:
   void choke_step();
   void record_mutual_unchokes();
@@ -390,21 +447,23 @@ class Swarm {
   void fold_rates();
   /// Sends up to `budget` KB from p to q; returns the KB actually
   /// transferred (less than `budget` when q runs out of pickable
-  /// pieces).
+  /// pieces, or q completed and departed mid-round).
   double send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget);
-  /// Rarest-first pick for receiver q from sender p, honoring the
-  /// endgame request discipline when configured (slot_qp is q's slot
-  /// toward p, exempt from the reservation scan).
-  [[nodiscard]] std::optional<PieceId> pick_for(core::PeerId q, core::PeerId p,
-                                                std::size_t slot_qp);
-  void complete_piece(core::PeerId p, PieceId piece);
+  /// Rarest-first pick for receiver row qr from sender row pr,
+  /// honoring the endgame request discipline when configured (slot_qp
+  /// is q's slot toward p, exempt from the reservation scan).
+  [[nodiscard]] std::optional<PieceId> pick_for(Row qr, Row pr, std::size_t slot_qp);
+  void complete_piece(core::PeerId q, Row qr, PieceId piece);
   /// Removes a peer from the data plane at round coordinate `when`:
   /// availability counters drop, partial/in-flight state is discarded,
-  /// incident edge slots are released and mutual history flushed.
+  /// incident edge slots are released and mutual history flushed, the
+  /// final stats are archived and the table row is compacted away.
   void depart_peer(core::PeerId p, double when);
-  [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
-  /// Edge slot of neighbor q in p's sorted adjacency row.
-  [[nodiscard]] std::size_t slot_of(core::PeerId p, core::PeerId q) const;
+  [[nodiscard]] bool wants_from(Row receiver, Row sender) const {
+    return have_[receiver].interested_in(have_[sender]);
+  }
+  /// Edge slot of neighbor q in row pr's sorted adjacency.
+  [[nodiscard]] std::size_t slot_of(Row pr, core::PeerId q) const;
   /// Claims a slot (free list first, pool growth second).
   std::size_t claim_slot();
   /// Zeroes a slot's dynamic state, bumps its generation and parks it
@@ -413,40 +472,69 @@ class Swarm {
   /// Connects p and q: claims both directed slots and inserts each into
   /// the other's sorted adjacency row.
   void connect(core::PeerId p, core::PeerId q);
-  /// Releases every edge incident to p (slots freed, mutual flushed,
-  /// p removed from each neighbor's row).
-  void release_all_edges(core::PeerId p);
-  /// Moves a live pair's mutual-unchoke count into the retired records.
-  void flush_mutual(core::PeerId p, core::PeerId q, std::size_t slot_pq);
+  /// Releases every edge incident to p / row pr (slots freed, mutual
+  /// flushed, p removed from each neighbor's row).
+  void release_all_edges(core::PeerId p, Row pr);
+  /// Moves a live pair's mutual-unchoke count into the retired records
+  /// (or drops it when retain_departed is off).
+  void flush_mutual(core::PeerId p, core::PeerId q, std::size_t slot_min);
   /// Connects p to up to `need` distinct live non-neighbors chosen
-  /// uniformly (the tracker announce). Rejection-samples the dense
-  /// live-peer list — O(need) against a large population — and falls
-  /// back to an exact candidate scan when the population is nearly
-  /// exhausted. Returns the connections made.
+  /// uniformly (the tracker announce).
   std::size_t connect_random_live(core::PeerId p, std::size_t need);
-  /// Rebuilds bandwidth_rank_ if a join made it stale.
+  /// Rebuilds bandwidth_rank_ if a join (or, without the archive, a
+  /// departure) made it stale.
   void refresh_ranks() const;
+  void refresh_ranks_force() const;
   /// Tracker target degree (llround(neighbor_degree)).
   [[nodiscard]] std::size_t target_degree() const;
 
   SwarmConfig config_;
   graph::Rng& rng_;
   PiecePicker picker_;
-  std::vector<PeerStats> stats_;
-  std::vector<Bitfield> have_;
-  std::vector<TftChoker> chokers_;
-  std::vector<std::vector<core::PeerId>> unchoked_;  // per peer, this round
 
-  // --- dynamic edge-slot data plane -----------------------------------
-  // Per-peer adjacency: nbr_[p] is p's neighbor ids sorted ascending,
-  // nslot_[p] the parallel directed slot carrying (p -> nbr) state.
+  // --- dense peer rows -------------------------------------------------
+  // External id <-> row indirection; every container below named
+  // "row-indexed" compacts in lockstep with table_ removals.
+  PeerTable table_;
+  std::vector<PeerStats> stats_;    // row-indexed
+  std::vector<Bitfield> have_;      // row-indexed
+  std::vector<TftChoker> chokers_;  // row-indexed
+  std::vector<std::vector<core::PeerId>> unchoked_;  // row-indexed, this round
+  // Per-peer adjacency (row-indexed): nbr_[r] is the external neighbor
+  // ids sorted ascending, nslot_[r] the parallel directed slot carrying
+  // (owner -> nbr) state.
   std::vector<std::vector<core::PeerId>> nbr_;
   std::vector<std::vector<std::size_t>> nslot_;
+  // Partial piece progress (row-indexed): per receiver, (piece, KB
+  // accumulated) pairs. At most one entry per active sender, so linear
+  // scans win over hashing.
+  std::vector<std::vector<std::pair<PieceId, double>>> partial_;
+  // Endgame-mode scratch: per-row count of inbound unchokes this round
+  // (row-indexed, compacted mid-round with the table), and a reusable
+  // exclusion bitfield for the request discipline (reserved_list_
+  // tracks its set bits for O(deg) clears).
+  std::vector<std::uint32_t> incoming_unchokes_;
+  Bitfield reserved_scratch_;
+  std::vector<PieceId> reserved_list_;
+  // Sender-order snapshot for transfer_step (externals stay valid
+  // while completion departures compact rows mid-round).
+  std::vector<core::PeerId> order_scratch_;
+
+  // --- retired records --------------------------------------------------
+  // Final PeerStats of departed peers (departure order) + id -> index,
+  // populated only when config_.retain_departed. Aggregate counters are
+  // maintained in both modes.
+  std::vector<PeerStats> retired_stats_;
+  std::vector<std::uint32_t> retired_ix_;  // external id -> retired index
+  std::size_t retired_completed_ = 0;      // departed leechers holding all pieces
+
+  // --- dynamic edge-slot data plane -----------------------------------
   // Slot pool. edge_peer_[s]/mirror_[s] identify the slot's neighbor
-  // and reverse slot while live; they go stale (not cleared) once the
-  // slot is released — slot_gen_[s] is bumped on every release so
-  // stale references are detectable. free_slots_ holds released ids.
-  std::vector<core::PeerId> edge_peer_;   // slot -> neighbor
+  // (by external id) and reverse slot while live; they go stale (not
+  // cleared) once the slot is released — slot_gen_[s] is bumped on
+  // every release so stale references are detectable. free_slots_
+  // holds released ids.
+  std::vector<core::PeerId> edge_peer_;   // slot -> neighbor (external id)
   std::vector<std::size_t> mirror_;       // slot -> reverse slot
   std::vector<std::uint32_t> slot_gen_;   // release count
   std::vector<std::size_t> free_slots_;   // recycling free list
@@ -464,29 +552,15 @@ class Swarm {
   // Mutual-unchoke history of disconnected pairs: (min<<32|max, rounds).
   std::vector<std::pair<std::uint64_t, std::uint32_t>> retired_mutual_;
 
-  // Partial piece progress: per receiver, (piece, KB accumulated)
-  // pairs. At most one entry per active sender, so linear scans win
-  // over hashing.
-  std::vector<std::vector<std::pair<PieceId, double>>> partial_;
-
-  // Endgame-mode scratch: per-peer count of inbound unchokes this
-  // round, and a reusable exclusion bitfield for the request
-  // discipline (reserved_list_ tracks its set bits for O(deg) clears).
-  std::vector<std::uint32_t> incoming_unchokes_;
-  Bitfield reserved_scratch_;
-  std::vector<PieceId> reserved_list_;
-
-  // Leecher bandwidth ranks (peer id -> rank), rebuilt lazily: join()
-  // only marks them dirty, so churn-heavy rounds never pay the
+  // Leecher bandwidth ranks (external id -> rank), rebuilt lazily:
+  // join() only marks them dirty, so churn-heavy rounds never pay the
   // O(L log L) sort — the readers (stratification, reciprocated_pairs)
   // refresh on demand.
   mutable std::vector<std::size_t> bandwidth_rank_;
   mutable bool ranks_dirty_ = false;
-  std::vector<bool> departed_;
-  // Dense live-peer list for uniform announce sampling: live_ids_ is
-  // unordered (swap-remove on departure), live_ix_ maps id -> index.
-  std::vector<core::PeerId> live_ids_;
-  std::vector<std::size_t> live_ix_;
+  // Leechers covered by bandwidth_rank_ (ever with the archive, live
+  // without) — the offset normalization in stratification().
+  mutable std::size_t leechers_ranked_ = 0;
   std::size_t round_ = 0;
   std::size_t leechers_ = 0;     // leechers ever (initial + arrivals)
   std::size_t arrivals_ = 0;

@@ -1,0 +1,102 @@
+// PeerTable unit tests: dense row assignment, swap-with-last
+// compaction, id->row mapping, generation stamps and the id-space /
+// live-row split the swarm data plane builds on.
+#include <gtest/gtest.h>
+
+#include "bittorrent/peer_table.hpp"
+
+namespace strat::bt {
+namespace {
+
+TEST(PeerTable, AddAssignsDenseRowsInOrder) {
+  PeerTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.id_space(), 0u);
+  for (core::PeerId p = 0; p < 5; ++p) {
+    EXPECT_EQ(table.add(p), p);
+  }
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_EQ(table.id_space(), 5u);
+  for (core::PeerId p = 0; p < 5; ++p) {
+    EXPECT_EQ(table.row_of(p), p);
+    EXPECT_EQ(table.id_at(p), p);
+    EXPECT_TRUE(table.contains(p));
+  }
+  EXPECT_EQ(table.row_of(99), PeerTable::kNoRow);
+  EXPECT_FALSE(table.contains(99));
+}
+
+TEST(PeerTable, RemoveSwapsLastIntoHole) {
+  PeerTable table;
+  for (core::PeerId p = 0; p < 4; ++p) table.add(p);
+  // Remove a middle peer: the last occupant (3) moves into its row.
+  const auto rem = table.remove(1);
+  EXPECT_EQ(rem.row, 1u);
+  EXPECT_EQ(rem.moved_id, 3u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.id_at(1), 3u);
+  EXPECT_EQ(table.row_of(3), 1u);
+  EXPECT_EQ(table.row_of(1), PeerTable::kNoRow);
+  EXPECT_FALSE(table.contains(1));
+  // The id space never shrinks: departed ids stay addressable.
+  EXPECT_EQ(table.id_space(), 4u);
+  // Row order is insertion order with swap-removal applied.
+  const auto ids = table.ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 3u);
+  EXPECT_EQ(ids[2], 2u);
+}
+
+TEST(PeerTable, RemovingTheLastRowMovesNothing) {
+  PeerTable table;
+  table.add(0);
+  table.add(1);
+  const auto rem = table.remove(1);
+  EXPECT_EQ(rem.row, 1u);
+  EXPECT_EQ(rem.moved_id, core::kNoPeer);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PeerTable, GenerationsCountOccupantChanges) {
+  PeerTable table;
+  for (core::PeerId p = 0; p < 4; ++p) table.add(p);
+  EXPECT_EQ(table.generation(0), 0u);
+  EXPECT_EQ(table.generation(1), 0u);
+  table.remove(1);  // row 1: occupant 1 -> 3
+  EXPECT_EQ(table.generation(1), 1u);
+  table.remove(3);  // 3 now owns row 1; last (2) moves in
+  EXPECT_EQ(table.generation(1), 2u);
+  EXPECT_EQ(table.generation(0), 0u);
+}
+
+TEST(PeerTable, FreshIdsAfterChurnKeepGrowingTheIdSpace) {
+  PeerTable table;
+  for (core::PeerId p = 0; p < 3; ++p) table.add(p);
+  table.remove(0);
+  // Arrival-ordered external ids: the next id is id_space(), never a
+  // recycled one.
+  const auto next = static_cast<core::PeerId>(table.id_space());
+  EXPECT_EQ(next, 3u);
+  const auto row = table.add(next);
+  EXPECT_EQ(row, 2u);  // dense rows: fills right after the live peers
+  EXPECT_EQ(table.id_space(), 4u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(PeerTable, RejectsDuplicateAddAndDeadRemove) {
+  PeerTable table;
+  table.add(0);
+  EXPECT_THROW(table.add(0), std::invalid_argument);
+  table.remove(0);
+  EXPECT_THROW(table.remove(0), std::invalid_argument);
+  EXPECT_THROW(table.remove(7), std::invalid_argument);
+  // External ids are never recycled: a departed id is tombstoned, so
+  // re-adding it is rejected just like a live duplicate.
+  EXPECT_THROW(table.add(0), std::invalid_argument);
+  EXPECT_FALSE(table.contains(0));
+  EXPECT_EQ(table.row_of(0), PeerTable::kNoRow);
+}
+
+}  // namespace
+}  // namespace strat::bt

@@ -209,6 +209,55 @@ TEST(SwarmChurn, ChurnedScenarioRunsAreDeterministic) {
   }
 }
 
+TEST(SwarmChurn, ArrivalBandwidthModelSamplesPerArrival) {
+  // Satellite of the peer-table refactor: arrivals can draw capacities
+  // from the paper's empirical upstream CDF instead of cycling a pool.
+  graph::Rng rng(9);
+  SwarmConfig cfg = small_config();
+  cfg.num_peers = 40;
+  const std::vector<double> bw = bandwidths(40);
+  Swarm swarm(cfg, bw, rng);
+  ChurnSpec spec;
+  spec.arrivals = ChurnSpec::Arrivals::kPoisson;
+  spec.arrival_rate = 2.0;
+  spec.arrival_bandwidth = ChurnSpec::ArrivalBandwidth::kModel;
+  spec.arrival_model = BandwidthModel::saroiu2002();
+  // No pool needed in model mode.
+  ChurnDriver<Swarm> driver(spec, cfg, {}, rng);
+  driver.attach(swarm);
+  for (std::size_t r = 0; r < 30; ++r) {
+    driver.before_round(swarm);
+    swarm.run_round();
+  }
+  ASSERT_GT(swarm.arrivals(), 20u);
+  // Arrival capacities are independent draws: positive, and far more
+  // diverse than any cycled pool of one.
+  std::vector<double> caps;
+  for (core::PeerId p = static_cast<core::PeerId>(42); p < swarm.peer_count(); ++p) {
+    const double c = swarm.stats(p).upload_kbps;
+    EXPECT_GT(c, 0.0);
+    caps.push_back(c);
+  }
+  std::sort(caps.begin(), caps.end());
+  const std::size_t distinct =
+      static_cast<std::size_t>(std::unique(caps.begin(), caps.end()) - caps.begin());
+  EXPECT_GT(distinct, caps.size() / 2);
+}
+
+TEST(SwarmChurn, ArrivalBandwidthModelValidation) {
+  const SwarmConfig cfg = small_config();
+  ChurnSpec spec;
+  spec.arrivals = ChurnSpec::Arrivals::kPoisson;
+  spec.arrival_rate = 1.0;
+  // Model mode without a model is rejected.
+  spec.arrival_bandwidth = ChurnSpec::ArrivalBandwidth::kModel;
+  graph::Rng rng(10);
+  EXPECT_THROW((ChurnDriver<Swarm>(spec, cfg, {}, rng)), std::invalid_argument);
+  // Pool mode without a pool is still rejected.
+  spec.arrival_bandwidth = ChurnSpec::ArrivalBandwidth::kCyclePool;
+  EXPECT_THROW((ChurnDriver<Swarm>(spec, cfg, {}, rng)), std::invalid_argument);
+}
+
 TEST(SwarmChurn, PaperReplacementRateMapsXPerThousand) {
   EXPECT_DOUBLE_EQ(paper_replacement_rate(1.0, 1000), 1.0);
   EXPECT_DOUBLE_EQ(paper_replacement_rate(10.0, 5000), 50.0);

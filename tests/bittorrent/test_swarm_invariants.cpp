@@ -288,6 +288,25 @@ TEST(SwarmInvariants, FlatPlaneMatchesReferenceUnderFlashCrowdWithEndgame) {
   expect_equivalent_churned(cfg, spec, bandwidths(30, 900.0), 83, 60);
 }
 
+TEST(SwarmInvariants, FlatPlaneMatchesReferenceWithModelSampledArrivals) {
+  // Arrival capacities drawn from the empirical bandwidth CDF: the
+  // inverse-CDF sampling consumes swarm RNG, so this pins the two
+  // planes' draw sequences through the model path too.
+  SwarmConfig cfg;
+  cfg.num_peers = 50;
+  cfg.seeds = 2;
+  cfg.num_pieces = 48;
+  cfg.piece_kb = 32.0;
+  cfg.neighbor_degree = 12.0;
+  cfg.initial_completion = 0.5;
+  ChurnSpec spec;
+  spec.replacement_rate = 2.0;
+  spec.arrival_completion = 0.4;
+  spec.arrival_bandwidth = ChurnSpec::ArrivalBandwidth::kModel;
+  spec.arrival_model = BandwidthModel::saroiu2002();
+  expect_equivalent_churned(cfg, spec, bandwidths(50), 85, 50);
+}
+
 TEST(SwarmInvariants, ChurnedRunConservesAndLeaksNoSlots) {
   graph::Rng rng(84);
   SwarmConfig cfg;
