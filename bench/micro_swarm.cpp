@@ -70,6 +70,43 @@ void BM_SwarmRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SwarmRound)->Arg(100)->Arg(400)->Arg(5000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling sweep: the BM_SwarmRoundHuge workload with
+// SwarmConfig::threads = the second argument. Runs are bitwise
+// identical across the sweep (per-peer choke streams); only the wall
+// clock moves. The counters split the round via Swarm::phase_profile():
+// choke_fold_ms is the parallel portion the >= 2.5x acceptance bar at
+// 8 threads reads, serial_ms (mutual + transfer) is the Amdahl
+// remainder the whole-round time dilutes the speedup with.
+void BM_SwarmRoundThreads(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::SwarmConfig cfg = round_config(peers);
+  cfg.threads = threads;
+  bt::Swarm swarm(cfg, model.representative_sample(peers), rng);
+  for (auto _ : state) {
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  const auto& prof = swarm.phase_profile();
+  const auto rounds = static_cast<double>(swarm.rounds_elapsed());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["choke_fold_ms"] =
+      (prof.choke_seconds + prof.fold_seconds) * 1000.0 / rounds;
+  state.counters["serial_ms"] =
+      (prof.mutual_seconds + prof.transfer_seconds) * 1000.0 / rounds;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_SwarmRoundThreads)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
 // 10^5 peers: ~3M edge slots. Fixed iterations keep the harness from
 // rescaling this into minutes of wall clock.
 void BM_SwarmRoundHuge(benchmark::State& state) {

@@ -29,17 +29,20 @@ done
 # Swarm data-plane timing baseline: flat edge-slot rounds at
 # 10^2..10^4 peers, the retained map-based plane at the same sizes,
 # churned rounds at 5000 peers (dynamic-overlay cost), the static +
-# churned replication throughput, and the long-churn scale gate
+# churned replication throughput, the long-churn scale gate
 # (BM_SwarmLongChurn: end-state round time, data-plane MB and RSS at
 # 10^5 and 10^6 cumulative arrivals over a fixed 5000-peer live
 # population — flat across the two args is the peer-table compaction
-# working; the 10^6 point takes ~30 s), as one JSON snapshot
+# working; the 10^6 point takes ~30 s), and the intra-round
+# thread-scaling sweep (BM_SwarmRoundThreads at 10^5 peers x threads
+# 1/2/4/8: choke_fold_ms across the sweep is the parallel-phase
+# speedup, bitwise-identical results per seed), as one JSON snapshot
 # (BENCH_swarm.json) for regression comparisons across PRs.
 micro_swarm="${build_dir}/bench/micro_swarm"
 if [[ -x "${micro_swarm}" ]]; then
   echo "== micro_swarm -> BENCH_swarm.json"
   "${micro_swarm}" \
-    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
+    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out_dir}/BENCH_swarm.json" \
     --benchmark_out_format=json > /dev/null

@@ -41,6 +41,15 @@ class TftChoker {
   [[nodiscard]] std::vector<core::PeerId> select(std::vector<ChokeCandidate> candidates,
                                                  graph::Rng& rng);
 
+  /// Allocation-free select(): `candidates` is caller-owned scratch
+  /// (filtered and permuted in place, capacity retained across rounds)
+  /// and the unchoke set is written into `out`. The swarm choke phase
+  /// calls this with per-thread scratch — one heap allocation per peer
+  /// per round hoisted into a reusable buffer. Identical semantics and
+  /// RNG consumption to select() (which delegates here).
+  void select_into(std::vector<ChokeCandidate>& candidates, graph::Rng& rng,
+                   std::vector<core::PeerId>& out);
+
   /// Current optimistic-unchoke target (kNoPeer when none).
   [[nodiscard]] core::PeerId optimistic() const noexcept { return optimistic_; }
 

@@ -37,6 +37,9 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
     // normalization) and break the bitwise differential contract.
     throw std::invalid_argument("ReferenceSwarm: retain_departed=false is unsupported");
   }
+  // Same single structural draw as Swarm, at the same point, so both
+  // planes key identical per-peer choke streams.
+  choke_key_ = rng();
   const std::size_t total = config.num_peers + config.seeds;
   overlay_ = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
   stats_.resize(total);
@@ -165,10 +168,12 @@ bool ReferenceSwarm::wants_from(core::PeerId receiver, core::PeerId sender) cons
 }
 
 void ReferenceSwarm::choke_step() {
-  // Table-row order, matching the flat plane's dense iteration (the
-  // choker's optimistic rotation consumes RNG, so order matters).
-  // Departed peers have no row and their unchoke sets were cleared at
-  // departure.
+  // Table-row order, matching the flat plane's dense iteration.
+  // Randomness comes from each peer's own counter-based stream, so the
+  // iteration order no longer matters for the draws — but candidate
+  // content (sorted neighbor lists, rates) must still match the flat
+  // plane exactly. Departed peers have no row and their unchoke sets
+  // were cleared at departure.
   for (PeerTable::Row r = 0; r < table_.size(); ++r) {
     const core::PeerId p = table_.id_at(r);
     std::vector<ChokeCandidate> candidates;
@@ -191,7 +196,8 @@ void ReferenceSwarm::choke_step() {
       }
       candidates.push_back(c);
     }
-    unchoked_[p] = chokers_[p].select(std::move(candidates), rng_);
+    graph::Rng stream = graph::Rng::stream(choke_key_, p, round_);
+    unchoked_[p] = chokers_[p].select(std::move(candidates), stream);
   }
 }
 

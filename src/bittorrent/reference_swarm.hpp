@@ -14,6 +14,11 @@
 //
 // Keep the two implementations' per-round operation and RNG-consumption
 // order in lockstep; any intentional behavior change must land in both.
+// Choke randomness is drawn from the same per-peer counter-based
+// streams (Rng::stream keyed by run key / external id / round) as the
+// flat plane, so this serial oracle stays bitwise equal to Swarm at
+// *any* SwarmConfig::threads value — the plane accepts the threads
+// knob but always runs single-threaded.
 // Overlay mutations here go through graph::Graph (grow/add_edge/
 // isolate + finalize), whose sorted adjacency matches the flat plane's
 // sorted rows, so choke candidate order — and therefore every RNG
@@ -86,6 +91,9 @@ class ReferenceSwarm {
 
   SwarmConfig config_;
   graph::Rng& rng_;
+  /// Run key for the per-peer choke streams — the same single
+  /// structural draw Swarm makes at the same construction point.
+  std::uint64_t choke_key_ = 0;
   graph::Graph overlay_;
   PiecePicker picker_;
   std::vector<PeerStats> stats_;

@@ -33,6 +33,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -147,7 +148,19 @@ class ChurnDriver {
       live_scratch_.assign(ids.begin(), ids.end());
       for (const core::PeerId p : live_scratch_) {
         if (!swarm.is_leecher(p)) continue;
-        if (deadline(p) <= now) swarm.leave(p);
+        if (deadline(p) <= now) {
+          swarm.leave(p);
+          deadline_.erase(p);
+        }
+      }
+      // Completion departures bypass the driver, so their deadlines
+      // linger; sweep them out once the stale fraction dominates. This
+      // keeps driver memory O(live) across unbounded arrivals (it used
+      // to grow 8 bytes per arrival-ever) without consuming RNG.
+      if (deadline_.size() > 2 * swarm.live_peer_count() + 64) {
+        for (auto it = deadline_.begin(); it != deadline_.end();) {
+          it = swarm.departed(it->first) ? deadline_.erase(it) : std::next(it);
+        }
       }
     }
     if (spec_.replacement_rate > 0.0) {
@@ -163,6 +176,7 @@ class ChurnDriver {
           if (!live_scratch_.empty()) {
             const auto j = static_cast<std::size_t>(rng_.below(live_scratch_.size()));
             swarm.leave(live_scratch_[j]);
+            deadline_.erase(live_scratch_[j]);
             live_scratch_[j] = live_scratch_.back();
             live_scratch_.pop_back();
           }
@@ -187,6 +201,11 @@ class ChurnDriver {
     }
   }
 
+  /// Deadlines currently tracked — O(live) by construction (erased on
+  /// driver-issued departures, swept when completion departures leave
+  /// stale entries behind). Exposed for the leak-regression tests.
+  [[nodiscard]] std::size_t tracked_deadlines() const noexcept { return deadline_.size(); }
+
  private:
   core::PeerId join_fresh(SwarmT& swarm, double now) {
     const double kbps = spec_.arrival_bandwidth == ChurnSpec::ArrivalBandwidth::kModel
@@ -205,9 +224,6 @@ class ChurnDriver {
 
   void set_deadline(core::PeerId p, double now) {
     if (spec_.lifetime == ChurnSpec::Lifetime::kNone) return;
-    if (deadline_.size() <= p) {
-      deadline_.resize(p + 1, std::numeric_limits<double>::infinity());
-    }
     const double life = spec_.lifetime == ChurnSpec::Lifetime::kFixed
                             ? spec_.lifetime_rounds
                             : rng_.exponential(spec_.lifetime_rounds);
@@ -215,16 +231,20 @@ class ChurnDriver {
   }
 
   [[nodiscard]] double deadline(core::PeerId p) const {
-    return p < deadline_.size() ? deadline_[p] : std::numeric_limits<double>::infinity();
+    const auto it = deadline_.find(p);
+    return it == deadline_.end() ? std::numeric_limits<double>::infinity() : it->second;
   }
 
   ChurnSpec spec_;
   SwarmConfig config_;
   std::vector<double> pool_;
   graph::Rng& rng_;
-  // Departure deadlines keyed by external id (only grown when a
-  // lifetime model is active — 8 bytes per arrival-ever).
-  std::vector<double> deadline_;
+  // Departure deadlines of live leechers, keyed by external id
+  // (populated only when a lifetime model is active). Entries are
+  // erased when the driver departs a peer and swept when completion
+  // departures strand them, so the map stays O(live) — external ids
+  // grow forever, a vector indexed by them would too.
+  std::unordered_map<core::PeerId, double> deadline_;
   // Live-id snapshot scratch, O(live), reused across rounds.
   std::vector<core::PeerId> live_scratch_;
   std::size_t next_capacity_ = 0;

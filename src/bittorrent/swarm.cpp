@@ -1,17 +1,32 @@
 #include "bittorrent/swarm.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <type_traits>
 
 #include "graph/erdos_renyi.hpp"
 #include "graph/graph.hpp"
+#include "sim/parallel.hpp"
 #include "sim/stats.hpp"
 
 namespace strat::bt {
 
 namespace {
 constexpr std::uint32_t kNoRetired = std::numeric_limits<std::uint32_t>::max();
+
+// Minimum work per chunk before the parallel phases actually spawn
+// threads: rows for the per-peer phases, slots for the pool-wide fold.
+// Small enough that test-scale swarms (hundreds of peers) exercise the
+// threaded paths under TSan, large enough that a chunk amortizes its
+// thread.
+constexpr std::size_t kRowGrain = 64;
+constexpr std::size_t kSlotGrain = 4096;
+
+double seconds_since(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
 }  // namespace
 
 Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::Rng& rng)
@@ -34,6 +49,9 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
       config.tft_slots_per_peer.size() != config.num_peers) {
     throw std::invalid_argument("Swarm: tft_slots_per_peer needs one entry per leecher");
   }
+  // The per-peer choke streams are keyed off one structural draw, made
+  // before any other RNG use so both data planes derive the same key.
+  choke_key_ = rng();
   const std::size_t total = config.num_peers + config.seeds;
   const graph::Graph overlay = graph::erdos_renyi_gnd(total, config.neighbor_degree, rng);
 
@@ -278,33 +296,87 @@ std::size_t Swarm::reannounce(core::PeerId p) {
   return connect_random_live(p, target - nbr_[pr].size());
 }
 
-void Swarm::choke_step() {
-  for (Row r = 0; r < table_.size(); ++r) {
-    const auto& row = nbr_[r];
-    const auto& slots = nslot_[r];
-    std::vector<ChokeCandidate> candidates;
-    candidates.reserve(row.size());
-    const bool serve_fastest = stats_[r].seed || have_[r].complete();
-    // Adjacency rows never contain departed peers (their edges were
-    // released), so every neighbor is a candidate.
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      const core::PeerId q = row[i];
-      ChokeCandidate c;
-      c.peer = q;
-      c.interested = wants_from(table_.row_of(q), r);
-      // Seed policy: serve the fastest downloaders.
-      c.score = serve_fastest ? rate_out_[slots[i]] : rate_in_[slots[i]];
-      candidates.push_back(c);
-    }
-    unchoked_[r] = chokers_[r].select(std::move(candidates), rng_);
+std::size_t Swarm::fan_out() const noexcept {
+  return config_.threads == 0 ? sim::recommended_threads() : config_.threads;
+}
+
+void Swarm::choke_row(Row r, std::vector<ChokeCandidate>& candidates) {
+  const auto& row = nbr_[r];
+  const auto& slots = nslot_[r];
+  candidates.clear();
+  const bool serve_fastest = stats_[r].seed || have_[r].complete();
+  // Adjacency rows never contain departed peers (their edges were
+  // released), so every neighbor is a candidate.
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const core::PeerId q = row[i];
+    ChokeCandidate c;
+    c.peer = q;
+    c.interested = wants_from(table_.row_of(q), r);
+    // Seed policy: serve the fastest downloaders.
+    c.score = serve_fastest ? rate_out_[slots[i]] : rate_in_[slots[i]];
+    candidates.push_back(c);
   }
+  // All randomness from the row's own counter-based stream: the result
+  // depends only on (run key, peer, round), never on which worker or in
+  // what order the row was processed.
+  graph::Rng stream = graph::Rng::stream(choke_key_, table_.id_at(r), round_);
+  chokers_[r].select_into(candidates, stream, unchoked_[r]);
+}
+
+void Swarm::choke_step() {
+  // Score/select fan-out: every read (rates, bitfields, stats, table)
+  // is phase-immutable, every write (choker state, unchoke set) is
+  // row-owned, so chunks over disjoint row ranges never race.
+  const std::size_t n = table_.size();
+  const std::size_t threads = fan_out();
+  const std::size_t chunks = sim::chunk_count(n, threads, kRowGrain);
+  if (choke_scratch_.size() < chunks) choke_scratch_.resize(chunks);
+  sim::parallel_for_chunks(n, threads, kRowGrain,
+                           [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                             auto& scratch = choke_scratch_[chunk];
+                             for (std::size_t r = begin; r < end; ++r) {
+                               choke_row(static_cast<Row>(r), scratch);
+                             }
+                           });
 }
 
 void Swarm::count_incoming_unchokes() {
-  incoming_unchokes_.assign(table_.size(), 0);
-  for (Row r = 0; r < table_.size(); ++r) {
-    for (const core::PeerId q : unchoked_[r]) ++incoming_unchokes_[table_.row_of(q)];
+  const std::size_t n = table_.size();
+  const std::size_t threads = fan_out();
+  const std::size_t chunks = sim::chunk_count(n, threads, kRowGrain);
+  if (chunks <= 1) {
+    incoming_unchokes_.assign(n, 0);
+    for (Row r = 0; r < table_.size(); ++r) {
+      for (const core::PeerId q : unchoked_[r]) ++incoming_unchokes_[table_.row_of(q)];
+    }
+    return;
   }
+  // No zero-fill on this path: the merge pass overwrites every element.
+  incoming_unchokes_.resize(n);
+  // Scatter increments race, so each chunk tallies into its own buffer;
+  // the merge is integer addition — associative and commutative, hence
+  // bitwise identical to the serial count at any thread count.
+  if (incoming_scratch_.size() < chunks) incoming_scratch_.resize(chunks);
+  sim::parallel_for_chunks(n, threads, kRowGrain,
+                           [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                             auto& local = incoming_scratch_[chunk];
+                             local.assign(n, 0);
+                             for (std::size_t r = begin; r < end; ++r) {
+                               for (const core::PeerId q : unchoked_[r]) {
+                                 ++local[table_.row_of(q)];
+                               }
+                             }
+                           });
+  sim::parallel_for_chunks(n, threads, kRowGrain,
+                           [&](std::size_t begin, std::size_t end, std::size_t) {
+                             for (std::size_t r = begin; r < end; ++r) {
+                               std::uint32_t sum = 0;
+                               for (std::size_t c = 0; c < chunks; ++c) {
+                                 sum += incoming_scratch_[c][r];
+                               }
+                               incoming_unchokes_[r] = sum;
+                             }
+                           });
 }
 
 void Swarm::record_mutual_unchokes() {
@@ -489,22 +561,38 @@ void Swarm::transfer_step() {
 void Swarm::fold_rates() {
   // Fold this round's transfers into the smoothed per-neighbor rates:
   // one pass over the whole slot pool, no hashing. Free slots are
-  // zeroed at release, so folding them is a no-op.
+  // zeroed at release, so folding them is a no-op. Slots are
+  // independent, so the pool maps cleanly over contiguous chunks.
   const double alpha = config_.rate_smoothing;
-  for (std::size_t s = 0; s < edge_peer_.size(); ++s) {
-    rate_in_[s] = alpha * now_in_[s] + (1.0 - alpha) * rate_in_[s];
-    now_in_[s] = 0.0;
-    rate_out_[s] = alpha * now_out_[s] + (1.0 - alpha) * rate_out_[s];
-    now_out_[s] = 0.0;
-  }
+  sim::parallel_for_chunks(edge_peer_.size(), fan_out(), kSlotGrain,
+                           [&](std::size_t begin, std::size_t end, std::size_t) {
+                             for (std::size_t s = begin; s < end; ++s) {
+                               rate_in_[s] = alpha * now_in_[s] + (1.0 - alpha) * rate_in_[s];
+                               now_in_[s] = 0.0;
+                               rate_out_[s] = alpha * now_out_[s] + (1.0 - alpha) * rate_out_[s];
+                               now_out_[s] = 0.0;
+                             }
+                           });
 }
 
 void Swarm::run_round() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   choke_step();
+  const auto t1 = clock::now();
   if (config_.endgame) count_incoming_unchokes();
+  const auto t2 = clock::now();
   record_mutual_unchokes();
+  const auto t3 = clock::now();
   transfer_step();
+  const auto t4 = clock::now();
   fold_rates();
+  const auto t5 = clock::now();
+  profile_.choke_seconds += seconds_since(t0, t1);
+  profile_.endgame_seconds += seconds_since(t1, t2);
+  profile_.mutual_seconds += seconds_since(t2, t3);
+  profile_.transfer_seconds += seconds_since(t3, t4);
+  profile_.fold_seconds += seconds_since(t4, t5);
   ++round_;
 }
 
@@ -725,7 +813,8 @@ Swarm::MemoryFootprint Swarm::memory_footprint() const {
   };
   out.peer_state_bytes = table_.row_bytes() + flat(stats_) + flat(chokers_) +
                          nested(unchoked_) + nested(nbr_) + nested(nslot_) + nested(partial_) +
-                         flat(incoming_unchokes_) + flat(order_scratch_);
+                         flat(incoming_unchokes_) + flat(order_scratch_) +
+                         nested(choke_scratch_) + nested(incoming_scratch_);
   for (const Bitfield& b : have_) {
     out.peer_state_bytes += sizeof(Bitfield) + b.words().size() * sizeof(std::uint64_t);
   }

@@ -50,11 +50,37 @@
 //    from the live non-neighbor population — the tracker re-announce
 //    that keeps the overlay connected as departures thin it out.
 //
+// Determinism model (two RNG tiers):
+//
+//  - *Per-peer choke streams.* Every choke-phase draw (tie-break
+//    shuffle, optimistic pick) comes from a counter-based generator
+//    keyed by (run key, external peer id, round) — Rng::stream — so a
+//    peer's choke randomness is a pure function of who it is and which
+//    round it is, independent of row iteration order and thread count.
+//    The run key is one draw from the structural stream at
+//    construction.
+//  - *Sequential structural stream.* Everything that mutates shared
+//    state in a defined order — overlay construction, tracker
+//    announces, rarest-first tie-breaks in the (serial) transfer
+//    phase, churn-driver and scenario sampling — keeps consuming the
+//    single `rng_` passed in, in program order.
+//
+// That split is what lets SwarmConfig::threads fan the intra-round
+// phases out: choke score/select (per-row reads of an effectively
+// immutable rate/bitfield snapshot, per-row writes of the unchoke
+// sets), the endgame incoming-unchoke count (per-chunk tallies merged
+// by integer addition) and the rate fold (slot-pool map) run over
+// sim::parallel_for_chunks, while transfer_step — where mid-round
+// completion departures mutate shared state — stays serial. Results
+// are bitwise identical for any `threads` value and still bitwise
+// equal to the single-threaded ReferenceSwarm.
+//
 // See reference_swarm.hpp for the retained map-based implementation:
 // both planes implement the same operations in strict FP + RNG
-// lockstep — including identical PeerTable compaction decisions, so
-// their row iteration orders match — and are differential-tested for
-// bitwise equality, churned runs included.
+// lockstep — including identical PeerTable compaction decisions and
+// the same per-peer choke streams, so their row iteration orders and
+// draws match — and are differential-tested for bitwise equality,
+// churned and threaded runs included.
 #pragma once
 
 #include <algorithm>
@@ -119,6 +145,14 @@ struct SwarmConfig {
   /// and the scenario summaries (run_scenario/run_multi_swarm) need
   /// the archive and reject this flag.
   bool retain_departed = true;
+  /// Worker threads for the intra-round parallel phases (choke
+  /// score/select, endgame unchoke counting, rate folding). Results
+  /// are bitwise identical at any value: choke randomness comes from
+  /// per-peer counter-based streams, so neither row order nor thread
+  /// count can reorder draws. 1 = serial (default); 0 = one worker per
+  /// hardware thread. ReferenceSwarm accepts but ignores it (the
+  /// oracle always runs serial — and still matches bitwise).
+  std::size_t threads = 1;
 };
 
 /// Per-peer accounting, exposed for metrics.
@@ -439,8 +473,27 @@ class Swarm {
   };
   [[nodiscard]] MemoryFootprint memory_footprint() const;
 
+  /// Cumulative wall-clock seconds per run_round() phase since
+  /// construction. The thread-scaling acceptance bar reads the
+  /// parallel portion (choke + fold) from here, so speedups are
+  /// measured per phase instead of inferred from whole-round times
+  /// that the serial transfer phase dilutes.
+  struct PhaseProfile {
+    double choke_seconds = 0.0;     // parallel: score/select fan-out
+    double endgame_seconds = 0.0;   // parallel: incoming-unchoke count
+    double mutual_seconds = 0.0;    // serial: mutual-unchoke recording
+    double transfer_seconds = 0.0;  // serial: upload redistribution
+    double fold_seconds = 0.0;      // parallel: rate smoothing fold
+  };
+  [[nodiscard]] const PhaseProfile& phase_profile() const noexcept { return profile_; }
+
  private:
   void choke_step();
+  /// Score/select for one row, drawing from the row's per-peer stream;
+  /// `candidates` is the calling worker's scratch.
+  void choke_row(Row r, std::vector<ChokeCandidate>& candidates);
+  /// config_.threads with 0 resolved to the hardware concurrency.
+  [[nodiscard]] std::size_t fan_out() const noexcept;
   void record_mutual_unchokes();
   void count_incoming_unchokes();
   void transfer_step();
@@ -490,6 +543,10 @@ class Swarm {
 
   SwarmConfig config_;
   graph::Rng& rng_;
+  /// Run key for the per-peer choke streams (one structural draw at
+  /// construction): peer p's round-r choke randomness is
+  /// Rng::stream(choke_key_, p, r), identical in both data planes.
+  std::uint64_t choke_key_ = 0;
   PiecePicker picker_;
 
   // --- dense peer rows -------------------------------------------------
@@ -519,6 +576,12 @@ class Swarm {
   // Sender-order snapshot for transfer_step (externals stay valid
   // while completion departures compact rows mid-round).
   std::vector<core::PeerId> order_scratch_;
+  // Per-chunk scratch for the parallel phases: one candidates buffer
+  // per choke worker (the hoisted per-row allocation), one tally
+  // vector per endgame-count worker. Sized lazily to the chunk count.
+  std::vector<std::vector<ChokeCandidate>> choke_scratch_;
+  std::vector<std::vector<std::uint32_t>> incoming_scratch_;
+  PhaseProfile profile_;
 
   // --- retired records --------------------------------------------------
   // Final PeerStats of departed peers (departure order) + id -> index,

@@ -18,6 +18,14 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Stateless SplitMix64 finalizer: the avalanche rounds alone, used to
+/// fold stream coordinates into a seed.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
@@ -119,5 +127,15 @@ std::uint64_t Rng::skip_geometric(double p) noexcept {
 }
 
 Rng Rng::split() noexcept { return Rng((*this)() ^ 0xA3EC647659359ACDULL); }
+
+Rng Rng::stream(std::uint64_t key, std::uint64_t a, std::uint64_t b) noexcept {
+  // Each coordinate is offset by a distinct odd constant and folded
+  // through a full avalanche round, so (key, a, b) triples that differ
+  // in any single coordinate seed unrelated generators.
+  std::uint64_t seed = mix64(key + 0x9E3779B97F4A7C15ULL);
+  seed = mix64(seed ^ (a + 0xBF58476D1CE4E5B9ULL));
+  seed = mix64(seed ^ (b + 0x94D049BB133111EBULL));
+  return Rng(seed);
+}
 
 }  // namespace strat::graph

@@ -79,6 +79,16 @@ class Rng {
   /// Derives an independent child generator (for parallel workers).
   [[nodiscard]] Rng split() noexcept;
 
+  /// Counter-based stream derivation: a generator keyed purely by
+  /// `(key, a, b)` — no sequential state involved, so the stream for a
+  /// given coordinate triple is the same no matter how many other
+  /// streams were derived, in what order, or on which thread. The
+  /// coordinates are mixed through SplitMix64 finalizer rounds before
+  /// seeding. This is what makes per-peer randomness (key = run key,
+  /// a = peer id, b = round) independent of iteration order: the swarm
+  /// choke phase draws from these instead of one shared generator.
+  [[nodiscard]] static Rng stream(std::uint64_t key, std::uint64_t a, std::uint64_t b) noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -44,4 +44,52 @@ void parallel_for(std::size_t count, std::size_t threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::size_t chunk_count(std::size_t count, std::size_t threads,
+                        std::size_t min_per_chunk) noexcept {
+  if (count == 0 || threads <= 1) return count == 0 ? 0 : 1;
+  const std::size_t by_grain =
+      min_per_chunk == 0 ? count : std::max<std::size_t>(1, count / min_per_chunk);
+  return std::min(threads, by_grain);
+}
+
+void parallel_for_chunks(
+    std::size_t count, std::size_t threads, std::size_t min_per_chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t chunks = chunk_count(count, threads, min_per_chunk);
+  if (chunks == 0) return;
+  // Balanced contiguous split: the first `count % chunks` chunks get one
+  // extra index.
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t base = count / chunks;
+    const std::size_t extra = count % chunks;
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    body(begin, end, c);
+  };
+  if (chunks == 1) {
+    run_chunk(0);
+    return;
+  }
+  // One spawned worker per chunk except the last, which the caller runs
+  // itself — a phase of N chunks costs N - 1 thread spawns per call.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(chunks - 1);
+  const auto guarded = [&](std::size_t c) noexcept {
+    try {
+      run_chunk(c);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    pool.emplace_back([&guarded, c] { guarded(c); });
+  }
+  guarded(chunks - 1);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace strat::sim

@@ -1,13 +1,20 @@
-// Minimal thread-pool-style parallel loop for independent replications.
+// Minimal thread-pool-style parallel loops.
 //
 // Scenario sweeps and Monte-Carlo replications are embarrassingly
 // parallel: every index gets its own Rng seeded independently, and
 // results are written to per-index slots. parallel_for() distributes
 // indices over `threads` std::thread workers via an atomic counter, so
 // the *schedule* is nondeterministic but the per-index results are not:
-// running with 1 thread or N threads produces identical output. A
-// single seeded simulation therefore stays bitwise-deterministic — only
-// whole replications are parallelized, never the inside of a run.
+// running with 1 thread or N threads produces identical output.
+//
+// parallel_for_chunks() is the intra-round variant: it splits a dense
+// index range into at most `threads` contiguous chunks (each at least
+// `min_per_chunk` wide, so tiny ranges run inline instead of paying
+// thread spawns) and hands each worker a [begin, end) range plus a
+// stable chunk id it can key per-worker scratch buffers by. The swarm
+// round phases fan over this; their per-index work is either pure
+// (fold_rates) or draws from per-peer counter-based RNG streams
+// (choke_step), so results stay bitwise identical at any thread count.
 #pragma once
 
 #include <cstddef>
@@ -26,5 +33,23 @@ namespace strat::sim {
 /// calling thread after all workers join.
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& body);
+
+/// Number of contiguous chunks parallel_for_chunks() will use for the
+/// same arguments: min(threads, count / min_per_chunk), floored at 1.
+/// Callers size per-chunk scratch with this.
+[[nodiscard]] std::size_t chunk_count(std::size_t count, std::size_t threads,
+                                      std::size_t min_per_chunk) noexcept;
+
+/// Invokes body(begin, end, chunk) over a partition of [0, count) into
+/// chunk_count(...) contiguous ranges; chunk ids are dense in
+/// [0, chunk_count) and each is claimed by exactly one worker, so
+/// body may use `chunk` to index scratch without synchronization.
+/// The last chunk runs inline on the caller (N chunks cost N - 1
+/// thread spawns). body must be safe to call concurrently for
+/// distinct chunks; the first exception is rethrown on the caller
+/// after all workers join.
+void parallel_for_chunks(
+    std::size_t count, std::size_t threads, std::size_t min_per_chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
 }  // namespace strat::sim

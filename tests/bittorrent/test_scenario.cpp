@@ -140,5 +140,46 @@ TEST(Scenario, MultiSwarmLayoutAccounting) {
   EXPECT_THROW((void)run_multi_swarm(spec, 17, 1), std::invalid_argument);
 }
 
+TEST(Scenario, ChurnDriverDeadlinesStayLiveSized) {
+  // Regression for the driver's old 8-bytes-per-arrival-ever deadline
+  // vector: with a lifetime model active and peers also departing by
+  // completion (which bypasses the driver), tracked deadlines must
+  // stay O(live), not O(arrivals).
+  SwarmConfig cfg;
+  cfg.num_peers = 40;
+  cfg.seeds = 2;
+  cfg.num_pieces = 24;
+  cfg.piece_kb = 8.0;       // fast completions: many driver-invisible departures
+  cfg.neighbor_degree = 10.0;
+  cfg.initial_completion = 0.5;
+  cfg.stay_as_seed = false;
+  const auto bw = BandwidthModel::saroiu2002().representative_sample(40);
+  graph::Rng rng(23);
+  Swarm swarm(cfg, bw, rng);
+  ChurnSpec spec;
+  spec.arrivals = ChurnSpec::Arrivals::kPoisson;
+  spec.arrival_rate = 3.0;
+  spec.arrival_completion = 0.5;
+  spec.lifetime = ChurnSpec::Lifetime::kExponential;
+  spec.lifetime_rounds = 20.0;
+  spec.replacement_rate = 1.0;
+  ChurnDriver<Swarm> churn(spec, cfg, bw, rng);
+  churn.attach(swarm);
+  // Instantaneous live count dips below the sweep lag (arrivals land
+  // after the sweep, completions after the round), so the O(live)
+  // claim is bounded against the peak concurrent population — a
+  // constant of the workload, not of how long it runs.
+  std::size_t peak_live = swarm.live_peer_count();
+  for (std::size_t r = 0; r < 200; ++r) {
+    churn.before_round(swarm);
+    swarm.run_round();
+    peak_live = std::max(peak_live, swarm.live_peer_count());
+    ASSERT_LE(churn.tracked_deadlines(), 2 * peak_live + 64) << "round " << r;
+  }
+  // The bound was actually exercised: cumulative arrivals dwarf it
+  // (the old id-indexed vector would have grown past it).
+  EXPECT_GT(swarm.arrivals(), 2 * peak_live + 64);
+}
+
 }  // namespace
 }  // namespace strat::bt

@@ -1,0 +1,166 @@
+// Deterministic intra-round parallelism: for one seed, runs must be
+// bitwise identical at every SwarmConfig::threads value — the per-peer
+// counter-based choke streams make the score/select phase independent
+// of row order and worker count — and still bitwise equal to the
+// always-serial map-based ReferenceSwarm. Exercised on a static
+// endgame run and on a fully churned run (Poisson arrivals,
+// exponential lifetimes, replacement events, re-announce sweeps,
+// completion departures) at 600+ peers, large enough that the chunked
+// phases really fan out (kRowGrain rows per chunk); the TSan CI job
+// runs this binary to certify the fan-out data-race-free.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/reference_swarm.hpp"
+#include "bittorrent/scenario.hpp"
+#include "bittorrent/swarm.hpp"
+
+namespace strat::bt {
+namespace {
+
+constexpr std::uint64_t kSeed = 90;
+constexpr std::size_t kRounds = 40;
+
+std::vector<double> capacities(std::size_t n) {
+  return BandwidthModel::saroiu2002().representative_sample(n);
+}
+
+SwarmConfig base_config(std::size_t peers) {
+  SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 2;
+  cfg.num_pieces = 64;
+  cfg.piece_kb = 32.0;
+  cfg.neighbor_degree = 14.0;
+  cfg.initial_completion = 0.5;
+  cfg.endgame = true;           // the endgame count phase must fan out too
+  cfg.stay_as_seed = false;     // completion departures compact mid-round
+  return cfg;
+}
+
+ChurnSpec churny_spec() {
+  ChurnSpec spec;
+  spec.arrivals = ChurnSpec::Arrivals::kPoisson;
+  spec.arrival_rate = 2.0;
+  spec.arrival_completion = 0.4;
+  spec.lifetime = ChurnSpec::Lifetime::kExponential;
+  spec.lifetime_rounds = 25.0;
+  spec.replacement_rate = 2.0;
+  spec.reannounce_interval = 5;
+  return spec;
+}
+
+/// Everything a run exposes, for bitwise comparison.
+struct Snapshot {
+  std::vector<PeerStats> stats;
+  StratificationReport strat;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t live = 0;
+  std::size_t completed = 0;
+};
+
+template <typename SwarmT>
+Snapshot snapshot_of(const SwarmT& swarm) {
+  Snapshot snap;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) snap.stats.push_back(swarm.stats(p));
+  snap.strat = swarm.stratification();
+  snap.arrivals = swarm.arrivals();
+  snap.departures = swarm.departures();
+  snap.live = swarm.live_peer_count();
+  snap.completed = swarm.completed_leechers();
+  return snap;
+}
+
+template <typename SwarmT>
+Snapshot run_plane(const SwarmConfig& cfg, std::size_t peers, bool churned) {
+  graph::Rng rng(kSeed);
+  SwarmT swarm(cfg, capacities(peers), rng);
+  if (!churned) {
+    swarm.run(kRounds);
+    return snapshot_of(swarm);
+  }
+  ChurnDriver<SwarmT> churn(churny_spec(), cfg, capacities(peers), rng);
+  churn.attach(swarm);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    churn.before_round(swarm);
+    swarm.run_round();
+  }
+  return snapshot_of(swarm);
+}
+
+void expect_bitwise_equal(const Snapshot& a, const Snapshot& b, const char* what) {
+  ASSERT_EQ(a.stats.size(), b.stats.size()) << what;
+  for (std::size_t p = 0; p < a.stats.size(); ++p) {
+    ASSERT_EQ(a.stats[p].upload_kbps, b.stats[p].upload_kbps) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].uploaded_kb, b.stats[p].uploaded_kb) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].downloaded_kb, b.stats[p].downloaded_kb) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].pieces, b.stats[p].pieces) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].completion_round, b.stats[p].completion_round)
+        << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].join_round, b.stats[p].join_round) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].leave_round, b.stats[p].leave_round) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].seed, b.stats[p].seed) << what << " peer " << p;
+  }
+  EXPECT_EQ(a.strat.reciprocated_pairs, b.strat.reciprocated_pairs) << what;
+  EXPECT_EQ(a.strat.mean_normalized_offset, b.strat.mean_normalized_offset) << what;
+  EXPECT_EQ(a.strat.partner_rank_correlation, b.strat.partner_rank_correlation) << what;
+  EXPECT_EQ(a.arrivals, b.arrivals) << what;
+  EXPECT_EQ(a.departures, b.departures) << what;
+  EXPECT_EQ(a.live, b.live) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+}
+
+void expect_thread_invariant(bool churned) {
+  constexpr std::size_t kPeers = 600;
+  SwarmConfig cfg = base_config(kPeers);
+  cfg.threads = 1;
+  const Snapshot serial = run_plane<Swarm>(cfg, kPeers, churned);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    cfg.threads = threads;
+    const Snapshot threaded = run_plane<Swarm>(cfg, kPeers, churned);
+    expect_bitwise_equal(serial, threaded,
+                         threads == 2 ? "threads=2 vs 1" : "threads=8 vs 1");
+  }
+  // The always-serial oracle accepts (and ignores) the threads knob
+  // and must still match bitwise.
+  cfg.threads = 8;
+  const Snapshot oracle = run_plane<ReferenceSwarm>(cfg, kPeers, churned);
+  expect_bitwise_equal(serial, oracle, "reference vs flat");
+}
+
+TEST(SwarmThreads, StaticEndgameRunIsThreadCountInvariant) {
+  expect_thread_invariant(/*churned=*/false);
+}
+
+TEST(SwarmThreads, ChurnedEndgameRunIsThreadCountInvariant) {
+  expect_thread_invariant(/*churned=*/true);
+}
+
+TEST(SwarmThreads, AutoThreadsMatchesSerial) {
+  // threads = 0 resolves to the hardware concurrency; still bitwise.
+  constexpr std::size_t kPeers = 300;
+  SwarmConfig cfg = base_config(kPeers);
+  cfg.threads = 1;
+  const Snapshot serial = run_plane<Swarm>(cfg, kPeers, /*churned=*/true);
+  cfg.threads = 0;
+  const Snapshot autod = run_plane<Swarm>(cfg, kPeers, /*churned=*/true);
+  expect_bitwise_equal(serial, autod, "threads=auto vs 1");
+}
+
+TEST(SwarmThreads, PhaseProfileAccumulates) {
+  constexpr std::size_t kPeers = 120;
+  SwarmConfig cfg = base_config(kPeers);
+  graph::Rng rng(kSeed);
+  Swarm swarm(cfg, capacities(kPeers), rng);
+  swarm.run(5);
+  const auto& prof = swarm.phase_profile();
+  EXPECT_GT(prof.choke_seconds, 0.0);
+  EXPECT_GT(prof.transfer_seconds, 0.0);
+  EXPECT_GT(prof.fold_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace strat::bt

@@ -186,5 +186,35 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   SUCCEED();
 }
 
+TEST(Rng, StreamIsAPureFunctionOfItsCoordinates) {
+  // Same (key, a, b) -> same stream, no matter what else was derived
+  // in between: the per-peer choke-stream contract.
+  Rng first = Rng::stream(42, 7, 3);
+  (void)Rng::stream(9999, 1, 1)();  // unrelated derivation in between
+  Rng second = Rng::stream(42, 7, 3);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(first(), second());
+}
+
+TEST(Rng, StreamCoordinatesDecorrelate) {
+  // Changing any single coordinate must give an unrelated stream.
+  Rng base = Rng::stream(42, 7, 3);
+  for (Rng other : {Rng::stream(43, 7, 3), Rng::stream(42, 8, 3), Rng::stream(42, 7, 4)}) {
+    int same = 0;
+    Rng b = base;
+    for (int i = 0; i < 64; ++i) {
+      if (b() == other()) ++same;
+    }
+    EXPECT_LE(same, 1);
+  }
+  // Swapping coordinates matters too (a and b are not interchangeable).
+  Rng swapped = Rng::stream(42, 3, 7);
+  Rng b = base;
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b() == swapped()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
 }  // namespace
 }  // namespace strat::graph

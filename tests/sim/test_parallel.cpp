@@ -48,5 +48,53 @@ TEST(ParallelFor, RecommendedThreadsIsPositive) {
   EXPECT_GE(recommended_threads(), 1u);
 }
 
+TEST(ParallelForChunks, PartitionCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{257}}) {
+      std::vector<std::atomic<int>> hits(count);
+      parallel_for_chunks(count, threads, 8,
+                          [&](std::size_t begin, std::size_t end, std::size_t) {
+                            for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                          });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "index " << i << " count " << count << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForChunks, ChunkIdsAreDenseAndClaimedOnce) {
+  const std::size_t count = 100;
+  const std::size_t threads = 4;
+  const std::size_t chunks = chunk_count(count, threads, 8);
+  ASSERT_GE(chunks, 2u);
+  std::vector<std::atomic<int>> claims(chunks);
+  parallel_for_chunks(count, threads, 8,
+                      [&](std::size_t, std::size_t, std::size_t chunk) {
+                        ASSERT_LT(chunk, chunks);
+                        ++claims[chunk];
+                      });
+  for (std::size_t c = 0; c < chunks; ++c) EXPECT_EQ(claims[c].load(), 1) << "chunk " << c;
+}
+
+TEST(ParallelForChunks, GrainKeepsSmallRangesInline) {
+  // Below one grain the whole range must run as a single inline chunk
+  // (no thread spawn) — the per-round overhead guard for tiny swarms.
+  EXPECT_EQ(chunk_count(63, 8, 64), 1u);
+  EXPECT_EQ(chunk_count(0, 8, 64), 0u);
+  EXPECT_EQ(chunk_count(1000, 1, 64), 1u);
+  // One chunk per grain's worth of work, capped by the thread count.
+  EXPECT_EQ(chunk_count(128, 8, 64), 2u);
+  EXPECT_EQ(chunk_count(100000, 8, 64), 8u);
+  std::vector<std::size_t> order;
+  parallel_for_chunks(10, 8, 64, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+    EXPECT_EQ(chunk, 0u);
+    for (std::size_t i = begin; i < end; ++i) order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
 }  // namespace
 }  // namespace strat::sim
