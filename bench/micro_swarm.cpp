@@ -15,11 +15,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bittorrent/bandwidth.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "bittorrent/reference_swarm.hpp"
 #include "bittorrent/scenario.hpp"
+#include "bittorrent/snapshot.hpp"
 #include "bittorrent/swarm.hpp"
 
 namespace {
@@ -282,6 +284,53 @@ void BM_ChurnScenarioReplications(benchmark::State& state) {
 BENCHMARK(BM_ChurnScenarioReplications)
     ->Args({4, 1})
     ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint serialization cost at 10^4 and 10^5 peers: one iteration
+// is save_to_string + resume_from_string of a warmed-up swarm. The
+// acceptance bar is save_load_vs_round < 1.0 — checkpointing a 10^5-
+// peer swarm (~3M edge slots) must cost less than simulating one round
+// of it, so periodic checkpoints are affordable inside long runs.
+// snapshot_mb tracks the stream size across PRs (format regressions
+// show up here before they show up in disk quotas).
+void BM_SwarmSnapshot(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::Swarm swarm(round_config(peers), model.representative_sample(peers), rng);
+  swarm.run(3);  // populate rates, partials, in-flight state
+  const auto r0 = std::chrono::steady_clock::now();
+  swarm.run_round();
+  const double round_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - r0).count();
+  double save_s = 0.0;
+  double load_s = 0.0;
+  std::size_t snapshot_bytes = 0;
+  double trips = 0.0;
+  for (auto _ : state) {
+    const auto s0 = std::chrono::steady_clock::now();
+    const std::string snap = bt::save_to_string(swarm);
+    const auto s1 = std::chrono::steady_clock::now();
+    bt::ResumedSwarm resumed = bt::resume_from_string(snap);
+    const auto s2 = std::chrono::steady_clock::now();
+    save_s += std::chrono::duration<double>(s1 - s0).count();
+    load_s += std::chrono::duration<double>(s2 - s1).count();
+    snapshot_bytes = snap.size();
+    trips += 1.0;
+    benchmark::DoNotOptimize(resumed.swarm().live_peer_count());
+  }
+  state.counters["snapshot_mb"] = static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0);
+  state.counters["save_ms"] = save_s * 1000.0 / trips;
+  state.counters["load_ms"] = load_s * 1000.0 / trips;
+  state.counters["round_ms"] = round_s * 1000.0;
+  state.counters["save_load_vs_round"] = (save_s + load_s) / trips / round_s;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_SwarmSnapshot)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RarestFirstPick(benchmark::State& state) {

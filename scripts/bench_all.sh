@@ -36,13 +36,16 @@ done
 # working; the 10^6 point takes ~30 s), and the intra-round
 # thread-scaling sweep (BM_SwarmRoundThreads at 10^5 peers x threads
 # 1/2/4/8: choke_fold_ms across the sweep is the parallel-phase
-# speedup, bitwise-identical results per seed), as one JSON snapshot
-# (BENCH_swarm.json) for regression comparisons across PRs.
+# speedup, bitwise-identical results per seed), and the checkpoint
+# cost (BM_SwarmSnapshot at 10^4/10^5 peers: snapshot_mb plus save/
+# load ms, with save_load_vs_round < 1.0 as the affordability bar),
+# as one JSON snapshot (BENCH_swarm.json) for regression comparisons
+# across PRs.
 micro_swarm="${build_dir}/bench/micro_swarm"
 if [[ -x "${micro_swarm}" ]]; then
   echo "== micro_swarm -> BENCH_swarm.json"
   "${micro_swarm}" \
-    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
+    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_SwarmSnapshot/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out_dir}/BENCH_swarm.json" \
     --benchmark_out_format=json > /dev/null

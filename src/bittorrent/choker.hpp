@@ -53,6 +53,28 @@ class TftChoker {
   /// Current optimistic-unchoke target (kNoPeer when none).
   [[nodiscard]] core::PeerId optimistic() const noexcept { return optimistic_; }
 
+  /// The choker's complete state, exposed for checkpointing: slot
+  /// configuration plus the optimistic-rotation position. Restoring it
+  /// reproduces the exact select() behavior from that point on.
+  struct State {
+    std::size_t tft_slots = 0;
+    std::size_t optimistic_rounds = 1;
+    std::size_t rounds_since_rotation = 0;
+    core::PeerId optimistic = core::kNoPeer;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{tft_slots_, optimistic_rounds_, rounds_since_rotation_, optimistic_};
+  }
+
+  /// Rebuilds a choker from a captured State.
+  [[nodiscard]] static TftChoker from_state(const State& st) {
+    TftChoker c(st.tft_slots, st.optimistic_rounds);
+    c.rounds_since_rotation_ = st.rounds_since_rotation;
+    c.optimistic_ = st.optimistic;
+    return c;
+  }
+
  private:
   std::size_t tft_slots_;
   std::size_t optimistic_rounds_;

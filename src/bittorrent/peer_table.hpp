@@ -121,6 +121,48 @@ class PeerTable {
     return row_of_.capacity() * sizeof(Row);
   }
 
+  /// Rebuilds a table from checkpointed state: `ids` is the live
+  /// external ids in row order, `row_gen` the per-row generation stamps
+  /// (its size is the peak concurrent row count, >= ids.size()), and
+  /// `id_space` one past the largest id ever registered. Every id in
+  /// [0, id_space) outside `ids` is marked tombstoned — the swarm hands
+  /// ids out sequentially, so "not live" means "departed", never
+  /// "skipped". The id->row index is rebuilt at exactly id_space
+  /// entries with zero capacity slack, so a loaded table never carries
+  /// the geometric growth overhead the in-process map accumulates over
+  /// long churn (the 4 B/arrival-ever growth noted in the PR 4 bench is
+  /// trimmed to its information-theoretic floor of live + tombstones).
+  /// Throws std::invalid_argument on duplicate/out-of-range ids or a
+  /// row_gen shorter than the live row count.
+  [[nodiscard]] static PeerTable restore(std::vector<core::PeerId> ids,
+                                         std::vector<std::uint32_t> row_gen,
+                                         std::size_t id_space) {
+    if (row_gen.size() < ids.size()) {
+      throw std::invalid_argument("PeerTable::restore: row_gen shorter than live rows");
+    }
+    PeerTable t;
+    t.row_of_.reserve(id_space);
+    t.row_of_.resize(id_space, kTombstone);
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      const core::PeerId id = ids[r];
+      if (id >= id_space) throw std::invalid_argument("PeerTable::restore: id out of range");
+      if (t.row_of_[id] != kTombstone) {
+        throw std::invalid_argument("PeerTable::restore: duplicate id");
+      }
+      t.row_of_[id] = static_cast<Row>(r);
+    }
+    t.ids_ = std::move(ids);
+    t.row_gen_ = std::move(row_gen);
+    return t;
+  }
+
+  /// Per-row generation stamps in row order (size = peak concurrent
+  /// rows, not the current live count) — checkpoint companion of
+  /// restore().
+  [[nodiscard]] std::span<const std::uint32_t> row_generations() const noexcept {
+    return {row_gen_.data(), row_gen_.size()};
+  }
+
  private:
   /// Internal marker for "was live once, departed": distinguishes a
   /// removed id (rejected by add()) from a never-seen one. Collapsed to

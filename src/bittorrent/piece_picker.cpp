@@ -30,6 +30,24 @@ void Bitfield::reset(PieceId i) {
   }
 }
 
+Bitfield Bitfield::from_words(std::size_t bits, std::vector<std::uint64_t> words) {
+  if (words.size() != (bits + 63) / 64) {
+    throw std::invalid_argument("Bitfield::from_words: word count mismatch");
+  }
+  if (bits % 64 != 0 && !words.empty() &&
+      (words.back() & ~((std::uint64_t{1} << (bits % 64)) - 1)) != 0) {
+    throw std::invalid_argument("Bitfield::from_words: bits set beyond size");
+  }
+  Bitfield out;
+  out.bits_ = bits;
+  out.words_ = std::move(words);
+  out.count_ = 0;
+  for (const std::uint64_t w : out.words_) {
+    out.count_ += static_cast<std::size_t>(std::popcount(w));
+  }
+  return out;
+}
+
 bool Bitfield::interested_in(const Bitfield& other) const {
   if (other.bits_ != bits_) throw std::invalid_argument("Bitfield::interested_in: size mismatch");
   for (std::size_t w = 0; w < words_.size(); ++w) {

@@ -42,6 +42,13 @@ class Bitfield {
   /// pieces a word at a time.
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
 
+  /// Rebuilds a bitfield from raw words (the checkpoint path). The
+  /// word count must match `bits` and bits beyond `bits` must be zero
+  /// — a corrupt tail would silently break interested_in()/count()
+  /// invariants — else std::invalid_argument. The set-bit count is
+  /// recomputed, never trusted from the caller.
+  [[nodiscard]] static Bitfield from_words(std::size_t bits, std::vector<std::uint64_t> words);
+
  private:
   std::size_t bits_ = 0;
   std::size_t count_ = 0;

@@ -27,6 +27,7 @@
 // paper's single-swarm model cannot express directly.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -205,6 +206,36 @@ class ChurnDriver {
   /// driver-issued departures, swept when completion departures leave
   /// stale entries behind). Exposed for the leak-regression tests.
   [[nodiscard]] std::size_t tracked_deadlines() const noexcept { return deadline_.size(); }
+
+  // --- checkpoint state -----------------------------------------------
+  // The driver's only mutable state is the deadline map and the
+  // capacity-pool cursor: everything else (spec, config, pool) is a
+  // construction input the resuming caller must supply unchanged.
+  // Deadlines are exported sorted by peer id so two lockstep drivers
+  // serialize identically (the unordered_map's bucket order is not
+  // deterministic, but no simulation decision ever iterates it).
+
+  /// Deadline entries sorted ascending by external peer id.
+  [[nodiscard]] std::vector<std::pair<core::PeerId, double>> deadline_snapshot() const {
+    std::vector<std::pair<core::PeerId, double>> out(deadline_.begin(), deadline_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Arrivals served from the cycled capacity pool so far.
+  [[nodiscard]] std::size_t capacity_cursor() const noexcept { return next_capacity_; }
+
+  /// Restores the state exported by deadline_snapshot()/
+  /// capacity_cursor(). The driver must have been constructed with the
+  /// same spec, config and pool as the one that was checkpointed —
+  /// those are inputs, not state — or the continued run diverges.
+  void restore(std::span<const std::pair<core::PeerId, double>> deadlines,
+               std::size_t capacity_cursor) {
+    deadline_.clear();
+    deadline_.reserve(deadlines.size());
+    for (const auto& [p, d] : deadlines) deadline_.emplace(p, d);
+    next_capacity_ = capacity_cursor;
+  }
 
  private:
   core::PeerId join_fresh(SwarmT& swarm, double now) {

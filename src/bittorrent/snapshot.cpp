@@ -1,0 +1,709 @@
+// Swarm checkpoint serialization: Writer/Reader primitives plus
+// Swarm::save()/resume() (members of Swarm so no friend surface is
+// needed). See snapshot.hpp for the format contract.
+#include "bittorrent/snapshot.hpp"
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "bittorrent/peer_table.hpp"
+#include "bittorrent/piece_picker.hpp"
+
+namespace strat::bt {
+
+namespace snapshot_detail {
+
+namespace {
+
+constexpr std::uint64_t kHashBasis = 0xCBF29CE484222325ULL;  // FNV-64 offset
+
+}  // namespace
+
+Writer::Writer(std::ostream& out) : out_(&out), hash_(kHashBasis) { buf_.reserve(kIoBuf); }
+
+Writer::Writer(std::string& sink) : sink_(&sink), hash_(kHashBasis) {}
+
+Writer::~Writer() = default;
+
+void Writer::flush() {
+  if (out_ != nullptr && !buf_.empty()) {
+    out_->write(reinterpret_cast<const char*>(buf_.data()),
+                static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+}
+
+void Writer::write_stream(const void* data, std::size_t n) {
+  if (n >= kIoBuf) {
+    flush();
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    return;
+  }
+  if (buf_.size() + n > kIoBuf) flush();
+  const auto* p = static_cast<const unsigned char*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Writer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const std::uint64_t checksum = mix64(hash_);  // footer itself is not folded
+  if (sink_ != nullptr) {
+    sink_->append(reinterpret_cast<const char*>(&checksum), 8);
+    return;
+  }
+  buf_.insert(buf_.end(), reinterpret_cast<const unsigned char*>(&checksum),
+              reinterpret_cast<const unsigned char*>(&checksum) + 8);
+  flush();
+  out_->flush();
+}
+
+Reader::Reader(std::istream& in) : in_(in), hash_(kHashBasis) {
+  // On a seekable stream, learn how many bytes remain so pod_vec can
+  // reject a lying length prefix before allocating anything.
+  const std::istream::pos_type cur = in_.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    in_.seekg(cur);
+    if (end != std::istream::pos_type(-1) && end >= cur && in_.good()) {
+      remaining_ = static_cast<std::uint64_t>(end - cur);
+      remaining_known_ = true;
+    } else {
+      in_.clear();
+      in_.seekg(cur);
+    }
+  } else {
+    in_.clear();  // tellg on a pipe sets failbit; reads must still work
+  }
+}
+
+void Reader::raw_read_slow(void* data, std::size_t n) {
+  // Caller (the inline raw_read) already accounted `remaining_` and
+  // handled the served-entirely-from-buffer case.
+  auto* dst = static_cast<unsigned char*>(data);
+  const std::size_t buffered = rend_ - rpos_;
+  if (buffered > 0) {
+    std::memcpy(dst, rbuf_.data() + rpos_, buffered);
+    dst += buffered;
+    n -= buffered;
+  }
+  rpos_ = rend_ = 0;
+  // Large reads go straight through; so does everything on a
+  // non-seekable stream, where an over-read could not be seeked back
+  // for a companion section that follows on the same stream.
+  if (n >= kIoBuf || !remaining_known_) {
+    in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n) {
+      throw SnapshotError("snapshot: truncated stream");
+    }
+    return;
+  }
+  if (rbuf_.empty()) rbuf_.resize(kIoBuf);
+  in_.read(reinterpret_cast<char*>(rbuf_.data()), static_cast<std::streamsize>(rbuf_.size()));
+  rend_ = static_cast<std::size_t>(in_.gcount());
+  if (rend_ < n) throw SnapshotError("snapshot: truncated stream");
+  in_.clear();  // a short final refill sets eofbit; the bytes are still good
+  std::memcpy(dst, rbuf_.data(), n);
+  rpos_ = n;
+}
+
+void Reader::expect_tag(std::uint32_t t, const char* section) {
+  if (u32() != t) {
+    throw SnapshotError(std::string("snapshot: missing section tag '") + section + "'");
+  }
+}
+
+void Reader::verify_checksum() {
+  const std::uint64_t expected = mix64(hash_);  // snapshot hash before the footer
+  std::uint64_t stored;
+  raw_read(&stored, 8);
+  // Return any unconsumed read-ahead so the stream position lands
+  // exactly after the footer — a companion section may follow.
+  const std::size_t leftover = rend_ - rpos_;
+  if (leftover > 0) {
+    in_.seekg(-static_cast<std::istream::off_type>(leftover), std::ios::cur);
+    rpos_ = rend_ = 0;
+  }
+  if (stored != expected) throw SnapshotError("snapshot: checksum mismatch (corrupt stream)");
+}
+
+}  // namespace snapshot_detail
+
+namespace {
+
+using snapshot_detail::Reader;
+using snapshot_detail::Writer;
+
+constexpr std::uint32_t kNoRetired = std::numeric_limits<std::uint32_t>::max();
+
+// Section tags, in stream order.
+constexpr std::uint32_t kTagConfig = 1;
+constexpr std::uint32_t kTagRng = 2;
+constexpr std::uint32_t kTagTable = 3;
+constexpr std::uint32_t kTagCounters = 4;
+constexpr std::uint32_t kTagSlots = 5;
+constexpr std::uint32_t kTagPeers = 6;
+constexpr std::uint32_t kTagRetired = 7;
+constexpr std::uint32_t kTagAvail = 8;
+
+// Allocation guards for length-prefixed vectors: generous multiples of
+// any real run, tight enough that a corrupt length can't OOM the host.
+constexpr std::size_t kMaxPeersEver = std::size_t{1} << 32;
+constexpr std::size_t kMaxSlots = std::size_t{1} << 33;
+// 2^24 pieces x 256 KB is a 4 TB torrent — anything above is a corrupt
+// config, and it must be rejected *before* the piece-sized containers
+// (picker, per-row bitfields) are allocated.
+constexpr std::size_t kMaxPieces = std::size_t{1} << 24;
+
+void write_config(Writer& w, const SwarmConfig& c) {
+  w.tag(kTagConfig);
+  w.u64(c.num_peers);
+  w.u64(c.seeds);
+  w.u64(c.num_pieces);
+  w.f64(c.piece_kb);
+  w.u64(c.tft_slots);
+  w.u64(c.optimistic_rounds);
+  w.f64(c.round_seconds);
+  w.f64(c.neighbor_degree);
+  w.u8(c.post_flashcrowd ? 1 : 0);
+  w.f64(c.initial_completion);
+  w.u8(c.stay_as_seed ? 1 : 0);
+  w.f64(c.seed_upload_kbps);
+  w.f64(c.rate_smoothing);
+  w.pod_span(c.tft_slots_per_peer.data(), c.tft_slots_per_peer.size());
+  w.u8(c.endgame ? 1 : 0);
+  w.u8(c.retain_departed ? 1 : 0);
+  w.u64(c.threads);
+}
+
+SwarmConfig read_config(Reader& r) {
+  r.expect_tag(kTagConfig, "config");
+  SwarmConfig c;
+  c.num_peers = static_cast<std::size_t>(r.u64());
+  c.seeds = static_cast<std::size_t>(r.u64());
+  c.num_pieces = static_cast<std::size_t>(r.u64());
+  c.piece_kb = r.f64();
+  c.tft_slots = static_cast<std::size_t>(r.u64());
+  c.optimistic_rounds = static_cast<std::size_t>(r.u64());
+  c.round_seconds = r.f64();
+  c.neighbor_degree = r.f64();
+  c.post_flashcrowd = r.u8() != 0;
+  c.initial_completion = r.f64();
+  c.stay_as_seed = r.u8() != 0;
+  c.seed_upload_kbps = r.f64();
+  c.rate_smoothing = r.f64();
+  c.tft_slots_per_peer = r.pod_vec<std::size_t>(kMaxPeersEver, "tft_slots_per_peer");
+  c.endgame = r.u8() != 0;
+  c.retain_departed = r.u8() != 0;
+  c.threads = static_cast<std::size_t>(r.u64());
+  return c;
+}
+
+/// The resume() config-override contract: every simulation-semantic
+/// field must match the checkpointed config bitwise; only `threads`
+/// (which cannot change results, just wall clock) may differ.
+void check_config_override(const SwarmConfig& stored, const SwarmConfig& override_config) {
+  const bool same = stored.num_peers == override_config.num_peers &&
+                    stored.seeds == override_config.seeds &&
+                    stored.num_pieces == override_config.num_pieces &&
+                    stored.piece_kb == override_config.piece_kb &&
+                    stored.tft_slots == override_config.tft_slots &&
+                    stored.optimistic_rounds == override_config.optimistic_rounds &&
+                    stored.round_seconds == override_config.round_seconds &&
+                    stored.neighbor_degree == override_config.neighbor_degree &&
+                    stored.post_flashcrowd == override_config.post_flashcrowd &&
+                    stored.initial_completion == override_config.initial_completion &&
+                    stored.stay_as_seed == override_config.stay_as_seed &&
+                    stored.seed_upload_kbps == override_config.seed_upload_kbps &&
+                    stored.rate_smoothing == override_config.rate_smoothing &&
+                    stored.tft_slots_per_peer == override_config.tft_slots_per_peer &&
+                    stored.endgame == override_config.endgame &&
+                    stored.retain_departed == override_config.retain_departed;
+  if (!same) {
+    throw SnapshotError(
+        "snapshot: config override differs from the checkpointed config "
+        "in a simulation-semantic field (only `threads` may change)");
+  }
+}
+
+void write_stats(Writer& w, const PeerStats& s) {
+  w.f64(s.upload_kbps);
+  w.f64(s.uploaded_kb);
+  w.f64(s.downloaded_kb);
+  w.u64(s.pieces);
+  w.f64(s.completion_round);
+  w.u8(s.seed ? 1 : 0);
+  w.f64(s.join_round);
+  w.f64(s.leave_round);
+}
+
+PeerStats read_stats(Reader& r) {
+  PeerStats s;
+  s.upload_kbps = r.f64();
+  s.uploaded_kb = r.f64();
+  s.downloaded_kb = r.f64();
+  s.pieces = static_cast<std::size_t>(r.u64());
+  s.completion_round = r.f64();
+  s.seed = r.u8() != 0;
+  s.join_round = r.f64();
+  s.leave_round = r.f64();
+  return s;
+}
+
+std::vector<std::uint32_t> to_u32(const std::vector<std::size_t>& v, const char* what) {
+  std::vector<std::uint32_t> out;
+  out.reserve(v.size());
+  for (const std::size_t x : v) {
+    if (x > std::numeric_limits<std::uint32_t>::max()) {
+      throw SnapshotError(std::string("snapshot: ") + what + " exceeds the u32 format limit");
+    }
+    out.push_back(static_cast<std::uint32_t>(x));
+  }
+  return out;
+}
+
+std::vector<std::size_t> to_size(const std::vector<std::uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+void Swarm::save(std::ostream& out) const {
+  Writer w(out);
+  save_impl(w);
+  if (!out) throw SnapshotError("snapshot: stream write failed");
+}
+
+void Swarm::save(std::string& out) const {
+  out.reserve(out.size() + snapshot_byte_bound());
+  Writer w(out);
+  save_impl(w);
+}
+
+std::size_t Swarm::snapshot_byte_bound() const {
+  const std::size_t rows = table_.size();
+  const std::size_t pool = edge_peer_.size();
+  const std::size_t bitfield_bytes = ((config_.num_pieces + 63) / 64) * 8;
+  // Per-element constants round the actual field widths up, never
+  // down — the bound must be an upper bound or one mid-save doubling
+  // re-copies the whole buffer anyway. Slack covers headers, tags and
+  // length prefixes.
+  std::size_t b = 1024 + config_.tft_slots_per_peer.size() * 8;
+  b += rows * 16;                          // live ids + row generations
+  b += pool * 48 + free_slots_.size() * 8; // edge-slot pool arrays
+  b += rows * (64 + bitfield_bytes + 28 + 24);  // stats, bitfield, choker, prefixes
+  for (std::size_t r = 0; r < rows; ++r) {
+    b += unchoked_[r].size() * 4 + nbr_[r].size() * 8 + partial_[r].size() * 12;
+  }
+  b += retired_stats_.size() * 72 + retired_mutual_.size() * 12 + 64;
+  b += static_cast<std::size_t>(config_.num_pieces) * 4 + 32;
+  return b;
+}
+
+void Swarm::save_impl(Writer& w) const {
+  w.u64(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+
+  write_config(w, config_);
+
+  w.tag(kTagRng);
+  w.u64(choke_key_);
+  const graph::Rng::State rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state.s) w.u64(word);
+  w.f64(rng_state.cached_normal);
+  w.u8(rng_state.has_cached_normal ? 1 : 0);
+
+  w.tag(kTagTable);
+  w.u64(table_.id_space());
+  const auto live = table_.ids();
+  w.pod_span(live.data(), live.size());
+  const auto gens = table_.row_generations();
+  w.pod_span(gens.data(), gens.size());
+
+  w.tag(kTagCounters);
+  w.u64(round_);
+  w.u64(leechers_);
+  w.u64(arrivals_);
+  w.u64(departures_);
+  w.u64(retired_completed_);
+
+  // Edge-slot pool. mirror_/free_slots_ (size_t in memory) travel as
+  // u32 — a pool past 4G directed slots is beyond any simulated scale
+  // and is rejected rather than truncated. now_in_/now_out_ are
+  // deliberately absent: fold_rates() zeroes them at every round
+  // boundary, the only place save() may be called.
+  w.tag(kTagSlots);
+  w.u64(edge_peer_.size());
+  w.pod_span(edge_peer_.data(), edge_peer_.size());
+  const auto mirror32 = to_u32(mirror_, "mirror slot");
+  w.pod_span(mirror32.data(), mirror32.size());
+  w.pod_span(slot_gen_.data(), slot_gen_.size());
+  const auto free32 = to_u32(free_slots_, "free-list slot");
+  w.pod_span(free32.data(), free32.size());
+  w.pod_span(rate_in_.data(), rate_in_.size());
+  w.pod_span(rate_out_.data(), rate_out_.size());
+  w.pod_span(inflight_.data(), inflight_.size());
+  w.pod_span(mutual_rounds_.data(), mutual_rounds_.size());
+
+  // Per-row hot state, row order. Every row-indexed container is
+  // written in the same order the table serialized its rows, so resume
+  // rebuilds the exact iteration order every RNG draw depends on.
+  w.tag(kTagPeers);
+  const std::size_t rows = table_.size();
+  w.u64(rows);
+  for (std::size_t r = 0; r < rows; ++r) write_stats(w, stats_[r]);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto words = have_[r].words();
+    w.bytes(words.data(), words.size() * sizeof(std::uint64_t));
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const TftChoker::State cs = chokers_[r].state();
+    w.u64(cs.tft_slots);
+    w.u64(cs.optimistic_rounds);
+    w.u64(cs.rounds_since_rotation);
+    w.u32(cs.optimistic);
+  }
+  for (std::size_t r = 0; r < rows; ++r) w.pod_span(unchoked_[r].data(), unchoked_[r].size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    w.pod_span(nbr_[r].data(), nbr_[r].size());
+    const auto slots32 = to_u32(nslot_[r], "adjacency slot");
+    w.bytes(slots32.data(), slots32.size() * sizeof(std::uint32_t));
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    w.u64(partial_[r].size());
+    for (const auto& [piece, kb] : partial_[r]) {
+      w.u32(piece);
+      w.f64(kb);
+    }
+  }
+
+  // Retired records, retirement order. The id->index map is stored as
+  // its inverse (one id per record), so the snapshot pays 4 bytes per
+  // *departure*, not per id-ever.
+  w.tag(kTagRetired);
+  std::vector<core::PeerId> retired_order(retired_stats_.size(), core::kNoPeer);
+  for (std::size_t id = 0; id < retired_ix_.size(); ++id) {
+    if (retired_ix_[id] != kNoRetired) retired_order[retired_ix_[id]] = static_cast<core::PeerId>(id);
+  }
+  w.pod_span(retired_order.data(), retired_order.size());
+  for (const PeerStats& s : retired_stats_) write_stats(w, s);
+  w.u64(retired_mutual_.size());
+  for (const auto& [key, mutual] : retired_mutual_) {
+    w.u64(key);
+    w.u32(mutual);
+  }
+
+  // Piece-availability cross-check: derived state (the sum of live
+  // bitfields), serialized anyway so the loader can prove the
+  // recomputation matches — a stronger-than-checksum consistency gate.
+  w.tag(kTagAvail);
+  w.u64(config_.num_pieces);
+  for (PieceId piece = 0; piece < config_.num_pieces; ++piece) w.u32(picker_.availability(piece));
+
+  w.finish();
+}
+
+Swarm Swarm::resume(std::istream& in, graph::Rng& rng) { return resume_impl(in, rng, nullptr); }
+
+Swarm Swarm::resume(std::istream& in, graph::Rng& rng, const SwarmConfig& config) {
+  return resume_impl(in, rng, &config);
+}
+
+Swarm Swarm::resume_impl(std::istream& in, graph::Rng& rng, const SwarmConfig* override_config) {
+  try {
+    Reader r(in);
+    if (r.u64() != kSnapshotMagic) throw SnapshotError("snapshot: bad magic");
+    const std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion) {
+      throw SnapshotError("snapshot: unsupported version " + std::to_string(version) +
+                          " (this build reads version " + std::to_string(kSnapshotVersion) + ")");
+    }
+
+    SwarmConfig cfg = read_config(r);
+    if (cfg.num_peers < 2 || cfg.num_pieces == 0 || cfg.piece_kb <= 0.0 ||
+        cfg.num_pieces > kMaxPieces || cfg.num_peers + cfg.seeds > kMaxPeersEver) {
+      throw SnapshotError("snapshot: invalid config");
+    }
+    if (override_config != nullptr) {
+      check_config_override(cfg, *override_config);
+      cfg.threads = override_config->threads;
+    }
+
+    Swarm s(ResumeTag{}, cfg, rng);
+
+    r.expect_tag(kTagRng, "rng");
+    s.choke_key_ = r.u64();
+    graph::Rng::State rng_state;
+    for (std::uint64_t& word : rng_state.s) word = r.u64();
+    rng_state.cached_normal = r.f64();
+    rng_state.has_cached_normal = r.u8() != 0;
+
+    r.expect_tag(kTagTable, "table");
+    const auto id_space = static_cast<std::size_t>(r.u64());
+    if (id_space > kMaxPeersEver) throw SnapshotError("snapshot: implausible id space");
+    if (id_space < cfg.num_peers + cfg.seeds) {
+      throw SnapshotError("snapshot: id space smaller than the initial population");
+    }
+    auto live_ids = r.pod_vec<core::PeerId>(id_space, "live id");
+    auto row_gens = r.pod_vec<std::uint32_t>(id_space, "row generation");
+    const std::size_t rows = live_ids.size();
+
+    r.expect_tag(kTagCounters, "counters");
+    s.round_ = static_cast<std::size_t>(r.u64());
+    s.leechers_ = static_cast<std::size_t>(r.u64());
+    s.arrivals_ = static_cast<std::size_t>(r.u64());
+    s.departures_ = static_cast<std::size_t>(r.u64());
+    s.retired_completed_ = static_cast<std::size_t>(r.u64());
+    if (s.arrivals_ != id_space - (cfg.num_peers + cfg.seeds)) {
+      throw SnapshotError("snapshot: arrival counter inconsistent with id space");
+    }
+    if (s.leechers_ != cfg.num_peers + s.arrivals_) {
+      throw SnapshotError("snapshot: leecher counter inconsistent with arrivals");
+    }
+    if (s.departures_ != id_space - rows) {
+      throw SnapshotError("snapshot: departure counter inconsistent with live count");
+    }
+
+    r.expect_tag(kTagSlots, "slots");
+    const auto pool = static_cast<std::size_t>(r.u64());
+    if (pool > kMaxSlots) throw SnapshotError("snapshot: implausible slot-pool size");
+    s.edge_peer_ = r.pod_vec<core::PeerId>(pool, "edge slot");
+    auto mirror32 = r.pod_vec<std::uint32_t>(pool, "mirror slot");
+    s.slot_gen_ = r.pod_vec<std::uint32_t>(pool, "slot generation");
+    auto free32 = r.pod_vec<std::uint32_t>(pool, "free slot");
+    s.rate_in_ = r.pod_vec<double>(pool, "rate-in");
+    s.rate_out_ = r.pod_vec<double>(pool, "rate-out");
+    s.inflight_ = r.pod_vec<PieceId>(pool, "in-flight piece");
+    s.mutual_rounds_ = r.pod_vec<std::uint32_t>(pool, "mutual rounds");
+    // Size checks before the zero-filled allocations below: every
+    // array length here is stream-backed (pod_vec only grows by bytes
+    // actually delivered), so a lying `pool` scalar must die *before*
+    // it can size a multi-GB assign.
+    if (s.edge_peer_.size() != pool || mirror32.size() != pool || s.slot_gen_.size() != pool ||
+        s.rate_in_.size() != pool || s.rate_out_.size() != pool || s.inflight_.size() != pool ||
+        s.mutual_rounds_.size() != pool) {
+      throw SnapshotError("snapshot: slot-pool array size mismatch");
+    }
+    s.mirror_ = to_size(mirror32);
+    s.free_slots_ = to_size(free32);
+    s.now_in_.assign(pool, 0.0);
+    s.now_out_.assign(pool, 0.0);
+
+    r.expect_tag(kTagPeers, "peers");
+    if (static_cast<std::size_t>(r.u64()) != rows) {
+      throw SnapshotError("snapshot: per-row state size mismatch");
+    }
+    s.stats_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) s.stats_.push_back(read_stats(r));
+    const std::size_t words_per_peer = (cfg.num_pieces + 63) / 64;
+    s.have_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      std::vector<std::uint64_t> words(words_per_peer);
+      r.bytes(words.data(), words.size() * sizeof(std::uint64_t));
+      s.have_.push_back(Bitfield::from_words(cfg.num_pieces, std::move(words)));
+    }
+    s.chokers_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      TftChoker::State cs;
+      cs.tft_slots = static_cast<std::size_t>(r.u64());
+      cs.optimistic_rounds = static_cast<std::size_t>(r.u64());
+      cs.rounds_since_rotation = static_cast<std::size_t>(r.u64());
+      cs.optimistic = r.u32();
+      if (cs.optimistic_rounds == 0) throw SnapshotError("snapshot: zero optimistic rounds");
+      s.chokers_.push_back(TftChoker::from_state(cs));
+    }
+    s.unchoked_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      s.unchoked_.push_back(r.pod_vec<core::PeerId>(id_space, "unchoke target"));
+    }
+    s.nbr_.reserve(rows);
+    s.nslot_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      auto nbrs = r.pod_vec<core::PeerId>(rows, "neighbor");
+      std::vector<std::uint32_t> slots32(nbrs.size());
+      r.bytes(slots32.data(), slots32.size() * sizeof(std::uint32_t));
+      s.nbr_.push_back(std::move(nbrs));
+      s.nslot_.push_back(to_size(slots32));
+    }
+    s.partial_.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto count = static_cast<std::size_t>(r.u64());
+      if (count > cfg.num_pieces) throw SnapshotError("snapshot: implausible partial count");
+      std::vector<std::pair<PieceId, double>> partial;
+      partial.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const PieceId piece = r.u32();
+        const double kb = r.f64();
+        partial.emplace_back(piece, kb);
+      }
+      s.partial_.push_back(std::move(partial));
+    }
+
+    r.expect_tag(kTagRetired, "retired");
+    auto retired_order = r.pod_vec<core::PeerId>(id_space, "retired id");
+    std::vector<PeerStats> retired_stats;
+    retired_stats.reserve(retired_order.size());
+    for (std::size_t i = 0; i < retired_order.size(); ++i) retired_stats.push_back(read_stats(r));
+    const auto retired_mutual_count = static_cast<std::size_t>(r.u64());
+    if (retired_mutual_count > kMaxSlots) {
+      throw SnapshotError("snapshot: implausible retired-pair count");
+    }
+    s.retired_mutual_.reserve(retired_mutual_count);
+    for (std::size_t i = 0; i < retired_mutual_count; ++i) {
+      const std::uint64_t key = r.u64();
+      const std::uint32_t mutual = r.u32();
+      s.retired_mutual_.emplace_back(key, mutual);
+    }
+
+    r.expect_tag(kTagAvail, "availability");
+    if (static_cast<std::size_t>(r.u64()) != cfg.num_pieces) {
+      throw SnapshotError("snapshot: availability size mismatch");
+    }
+    std::vector<std::uint32_t> stored_avail(cfg.num_pieces);
+    // Read per-u32 to mirror save()'s per-piece logical writes — the
+    // checksum folds once per logical call, so the partitions must
+    // match exactly.
+    for (std::uint32_t& avail : stored_avail) avail = r.u32();
+
+    r.verify_checksum();
+
+    // --- everything read and checksummed; validate and wire up -------
+
+    s.table_ = PeerTable::restore(std::move(live_ids), std::move(row_gens), id_space);
+
+    if (cfg.retain_departed) {
+      if (retired_order.size() != s.departures_) {
+        throw SnapshotError("snapshot: retired archive inconsistent with departures");
+      }
+      if (!retired_order.empty()) s.retired_ix_.assign(id_space, kNoRetired);
+      for (std::size_t i = 0; i < retired_order.size(); ++i) {
+        const core::PeerId id = retired_order[i];
+        if (id >= id_space || s.table_.contains(id)) {
+          throw SnapshotError("snapshot: retired id is live or out of range");
+        }
+        if (s.retired_ix_[id] != kNoRetired) throw SnapshotError("snapshot: duplicate retired id");
+        s.retired_ix_[id] = static_cast<std::uint32_t>(i);
+      }
+      s.retired_stats_ = std::move(retired_stats);
+    } else if (!retired_order.empty() || !s.retired_mutual_.empty()) {
+      throw SnapshotError("snapshot: retired records present with retain_departed off");
+    }
+
+    // Slot pool: free list sane, then adjacency rows sorted, live, and
+    // mutually consistent with the pool (slot -> neighbor id, mirror
+    // round-trips). After these checks no stale index can survive into
+    // the data plane.
+    std::vector<bool> is_free(pool, false);
+    for (const std::size_t slot : s.free_slots_) {
+      if (slot >= pool || is_free[slot]) {
+        throw SnapshotError("snapshot: free list slot invalid or duplicated");
+      }
+      is_free[slot] = true;
+    }
+    std::size_t adjacency_slots = 0;
+    for (std::size_t row = 0; row < rows; ++row) {
+      const core::PeerId owner = s.table_.id_at(static_cast<PeerTable::Row>(row));
+      const auto& nbrs = s.nbr_[row];
+      const auto& slots = s.nslot_[row];
+      if (slots.size() != nbrs.size()) {
+        throw SnapshotError("snapshot: adjacency slot row size mismatch");
+      }
+      adjacency_slots += slots.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (i > 0 && nbrs[i] <= nbrs[i - 1]) {
+          throw SnapshotError("snapshot: adjacency row not strictly sorted");
+        }
+        if (nbrs[i] == owner || !s.table_.contains(nbrs[i])) {
+          throw SnapshotError("snapshot: adjacency names a departed or self peer");
+        }
+        const std::size_t slot = slots[i];
+        if (slot >= pool || is_free[slot]) {
+          throw SnapshotError("snapshot: adjacency uses a freed or out-of-range slot");
+        }
+        if (s.edge_peer_[slot] != nbrs[i]) {
+          throw SnapshotError("snapshot: slot neighbor id mismatch");
+        }
+        const std::size_t mirror = s.mirror_[slot];
+        if (mirror >= pool || s.mirror_[mirror] != slot || s.edge_peer_[mirror] != owner) {
+          throw SnapshotError("snapshot: mirror slot does not round-trip");
+        }
+      }
+    }
+    if (adjacency_slots + s.free_slots_.size() != pool) {
+      throw SnapshotError("snapshot: slot pool leaks (live + free != capacity)");
+    }
+    for (const PieceId piece : s.inflight_) {
+      if (piece != kNoPiece && piece >= cfg.num_pieces) {
+        throw SnapshotError("snapshot: in-flight piece out of range");
+      }
+    }
+    for (std::size_t row = 0; row < rows; ++row) {
+      if (s.stats_[row].pieces != s.have_[row].count()) {
+        throw SnapshotError("snapshot: piece counter disagrees with bitfield");
+      }
+      for (const core::PeerId q : s.unchoked_[row]) {
+        if (q >= id_space) throw SnapshotError("snapshot: unchoke target out of range");
+      }
+      for (const auto& [piece, kb] : s.partial_[row]) {
+        if (piece >= cfg.num_pieces || s.have_[row].test(piece)) {
+          throw SnapshotError("snapshot: partial piece invalid or already held");
+        }
+        if (!(kb >= 0.0) || kb >= cfg.piece_kb) {
+          throw SnapshotError("snapshot: partial piece progress out of range");
+        }
+      }
+      const core::PeerId opt = s.chokers_[row].optimistic();
+      if (opt != core::kNoPeer && opt >= id_space) {
+        throw SnapshotError("snapshot: optimistic target out of range");
+      }
+    }
+
+    // Availability: recompute from the live bitfields and prove the
+    // stored words match — the derived-state consistency gate.
+    for (std::size_t row = 0; row < rows; ++row) s.picker_.add_bitfield(s.have_[row]);
+    for (PieceId piece = 0; piece < cfg.num_pieces; ++piece) {
+      if (s.picker_.availability(piece) != stored_avail[piece]) {
+        throw SnapshotError("snapshot: availability disagrees with live bitfields");
+      }
+    }
+
+    // Derived caches: ranks rebuild deterministically (no RNG), the
+    // structural generator resumes the checkpointed sequence.
+    rng.restore(rng_state);
+    s.refresh_ranks_force();
+    return s;
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::bad_alloc&) {
+    throw SnapshotError("snapshot: allocation failed (corrupt length field?)");
+  } catch (const std::exception& e) {
+    throw SnapshotError(std::string("snapshot: invalid state: ") + e.what());
+  }
+}
+
+std::string save_to_string(const Swarm& swarm) {
+  std::string out;
+  swarm.save(out);  // reserves its snapshot_byte_bound() up front
+  return out;
+}
+
+ResumedSwarm resume_from_string(const std::string& snapshot) {
+  std::istringstream in(snapshot, std::ios::binary);
+  return ResumedSwarm(in);
+}
+
+ResumedSwarm resume_from_string(const std::string& snapshot, const SwarmConfig& config) {
+  std::istringstream in(snapshot, std::ios::binary);
+  return ResumedSwarm(in, config);
+}
+
+std::vector<ResumedSwarm> fork_snapshot(const std::string& snapshot, std::size_t copies) {
+  std::vector<ResumedSwarm> forks;
+  forks.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) forks.push_back(resume_from_string(snapshot));
+  return forks;
+}
+
+}  // namespace strat::bt

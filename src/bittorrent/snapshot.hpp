@@ -1,0 +1,387 @@
+// Versioned swarm checkpoints: durable, resumable, forkable runs.
+//
+// A snapshot is a third representation of swarm run state, next to the
+// flat data plane and the map-based ReferenceSwarm — and like those
+// two it is held to a bitwise contract: Swarm::save() between any two
+// rounds, then Swarm::resume(), continues the run bitwise-identically
+// to the uninterrupted one at any SwarmConfig::threads value (the
+// resume-equivalence differential test tier proves it against both the
+// uninterrupted flat run and the oracle). That works because the
+// determinism model is explicit state: counter-based per-peer choke
+// streams (key + round suffice), one sequential structural generator
+// (xoshiro words are captured and restored), and row/slot orders that
+// are themselves serialized rather than re-derived.
+//
+// Format (version 1, little-endian, not endian-portable — the magic
+// word doubles as the byte-order probe):
+//
+//   u64 magic, u32 version, then tagged sections in fixed order —
+//   config, RNG (choke key + structural generator), peer table (live
+//   ids in row order, generation stamps, id space), run counters,
+//   edge-slot pool (neighbor/mirror/generation/free-list/rates/
+//   in-flight/mutual arrays), per-row peer state (stats, bitfields,
+//   choker state, unchoke sets, sorted adjacency + slots, partial
+//   pieces), retired records, and a piece-availability cross-check —
+//   closed by a 64-bit running checksum of every byte written.
+//
+// Loading rejects bad magic, unknown versions, truncation, checksum
+// mismatches and any structurally inconsistent state (every index is
+// bounds-checked before the swarm is wired together), throwing
+// SnapshotError with a message naming the failure; a corrupt snapshot
+// can never produce a swarm with broken invariants, let alone UB.
+// Deliberately *not* serialized: phase-profile wall clocks, per-worker
+// scratch buffers, and the transient per-round accumulators that are
+// provably zero between rounds (now_in_/now_out_) — none of them feed
+// back into simulation state. See README "Snapshot format and resume
+// contract".
+//
+// ChurnDriver state (lifetime deadlines + capacity-pool cursor) rides
+// in a companion section via save_churn_driver()/restore_churn_driver()
+// — the driver's spec/config/pool are construction inputs the resuming
+// caller supplies, the snapshot carries only the mutable remainder.
+//
+// fork_snapshot() opens warm-started what-if sweeps: resume one
+// equilibrated snapshot into N independent (rng, swarm) pairs and
+// drive each under a divergent ChurnSpec without re-simulating the
+// ramp-up.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bittorrent/scenario.hpp"
+#include "bittorrent/swarm.hpp"
+#include "core/types.hpp"
+#include "graph/rng.hpp"
+
+namespace strat::bt {
+
+/// Any snapshot failure: bad magic, version/config mismatch,
+/// truncation, checksum failure, structural inconsistency, stream
+/// errors. The message names the offending field.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// "STRATSWM" — also the byte-order probe: a big-endian reader sees
+/// garbage and rejects the stream at the first field.
+inline constexpr std::uint64_t kSnapshotMagic = 0x535452415453574DULL;
+/// "STRATCHN" for the churn-driver companion section.
+inline constexpr std::uint64_t kChurnMagic = 0x535452415443484EULL;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+namespace snapshot_detail {
+
+inline constexpr std::size_t kIoBuf = 64 * 1024;
+// Odd multiplier (golden-ratio constant): any change to any lane
+// changes the polynomial sum mod 2^64, so every single-lane corruption
+// is detected even before the final avalanche.
+inline constexpr std::uint64_t kFoldMul = 0x9E3779B97F4A7C15ULL;
+
+/// SplitMix64 finalizer, applied once when the checksum footer is
+/// emitted / verified: the per-lane fold below is a plain
+/// multiply-accumulate (one mul per 8 bytes — an avalanche round per
+/// lane would serialize a ~15-cycle dependency chain and cost more
+/// than the serialization itself at 10^5 peers), and this final pass
+/// supplies the diffusion.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Folds `n` bytes into `hash`, 8-byte lanes plus a zero-padded,
+/// length-salted tail. Writer and Reader call this once per *logical*
+/// field/array, so both sides fold identical lane sequences regardless
+/// of I/O buffering. Inline (with the small-op fast paths below)
+/// because a 10^5-peer snapshot makes ~2M logical writes — per-call
+/// overhead would dominate the pass.
+inline std::uint64_t fold_bytes(std::uint64_t hash, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p, 8);
+    hash = hash * kFoldMul + lane;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, p, n);
+    hash = hash * kFoldMul + (lane + n);
+  }
+  return hash;
+}
+
+/// Checksummed little-endian binary writer. Small writes coalesce into
+/// an internal buffer (one ostream call per ~64 KB, not per field);
+/// the string-sink constructor appends straight to the string instead,
+/// skipping the ostream machinery entirely (it costs more than the
+/// serialization itself at 10^5 peers). The running 64-bit hash folds
+/// every *logical* write, so buffering never changes the checksum.
+/// finish() appends the checksum.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out);
+  explicit Writer(std::string& sink);
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void bytes(const void* data, std::size_t n) {
+    if (n == 0) return;
+    hash_ = fold_bytes(hash_, data, n);
+    if (sink_ != nullptr) {
+      sink_->append(static_cast<const char*>(data), n);
+      return;
+    }
+    write_stream(data, n);
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) { bytes(&v, 4); }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void tag(std::uint32_t t) { u32(t); }
+
+  /// Length-prefixed contiguous POD span (no internal padding!).
+  template <typename T>
+  void pod_span(const T* data, std::size_t n) {
+    u64(n);
+    bytes(data, n * sizeof(T));
+  }
+
+  /// Writes the checksum footer and flushes. Must be the last call.
+  void finish();
+
+ private:
+  /// ostream mode: coalesces into buf_, one ostream call per ~64 KB.
+  void write_stream(const void* data, std::size_t n);
+  void flush();
+
+  std::ostream* out_ = nullptr;  // exactly one of out_/sink_ is set
+  std::string* sink_ = nullptr;
+  std::vector<unsigned char> buf_;  // ostream mode only
+  std::uint64_t hash_;
+  bool finished_ = false;
+};
+
+/// Checksummed reader, mirror of Writer: every read throws
+/// SnapshotError("...truncated") on a short stream, and
+/// verify_checksum() compares the running hash with the stored footer.
+/// On seekable streams, small reads are served from a ~64 KB
+/// read-ahead buffer (one istream call per refill, not per field —
+/// per-call overhead would otherwise dominate a 10^5-peer load);
+/// verify_checksum() seeks the stream back over any unconsumed
+/// read-ahead so a companion section can follow on the same stream.
+class Reader {
+ public:
+  explicit Reader(std::istream& in);
+
+  void bytes(void* data, std::size_t n) {
+    raw_read(data, n);
+    fold(data, n);
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    bytes(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    bytes(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    bytes(&v, 8);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  void expect_tag(std::uint32_t t, const char* section);
+
+  /// Length-prefixed POD vector. A corrupt length field cannot force a
+  /// giant allocation: on a seekable stream the prefix is checked
+  /// against the bytes actually remaining before anything is sized (so
+  /// the result is allocated exactly once, with zero capacity slack);
+  /// on a non-seekable stream the buffer grows in ~1 MB chunks and a
+  /// lying prefix dies on the first short read. Either way the
+  /// checksum folds once over the assembled buffer, matching the
+  /// writer's single pod_span() fold exactly.
+  template <typename T>
+  std::vector<T> pod_vec(std::size_t max_elems, const char* what) {
+    const std::uint64_t n64 = u64();
+    if (n64 > max_elems) {
+      throw SnapshotError(std::string("snapshot: implausible ") + what + " count");
+    }
+    const auto n = static_cast<std::size_t>(n64);
+    std::vector<T> out;
+    if (remaining_known_) {
+      if (n64 * sizeof(T) > remaining_) {
+        throw SnapshotError("snapshot: truncated stream");
+      }
+      out.resize(n);
+      raw_read(out.data(), n * sizeof(T));
+    } else {
+      const std::size_t chunk = std::max<std::size_t>(1, (std::size_t{1} << 20) / sizeof(T));
+      out.reserve(std::min(n, chunk));
+      while (out.size() < n) {
+        const std::size_t take = std::min(chunk, n - out.size());
+        const std::size_t have = out.size();
+        out.resize(have + take);
+        raw_read(out.data() + have, take * sizeof(T));
+      }
+      out.shrink_to_fit();  // loaded state should carry no growth slack
+    }
+    fold(out.data(), n * sizeof(T));
+    return out;
+  }
+
+  void verify_checksum();
+
+ private:
+  /// Reads without folding (pod_vec folds the assembled buffer once);
+  /// small reads come straight out of the read-ahead buffer.
+  void raw_read(void* data, std::size_t n) {
+    if (n == 0) return;
+    if (remaining_known_) remaining_ -= std::min<std::uint64_t>(remaining_, n);
+    if (n <= rend_ - rpos_) {
+      std::memcpy(data, rbuf_.data() + rpos_, n);
+      rpos_ += n;
+      return;
+    }
+    raw_read_slow(data, n);
+  }
+  /// Buffer exhausted: drain it, then refill (seekable) or read the
+  /// stream directly (large reads, non-seekable streams).
+  void raw_read_slow(void* data, std::size_t n);
+  /// Folds `n` bytes into the running checksum without reading.
+  void fold(const void* data, std::size_t n) {
+    if (n == 0) return;
+    hash_ = fold_bytes(hash_, data, n);
+  }
+
+  std::istream& in_;
+  std::uint64_t hash_;
+  std::uint64_t remaining_ = 0;   // bytes left of the *logical* position
+  bool remaining_known_ = false;  // false on pipes: fall back to chunked reads
+  std::vector<unsigned char> rbuf_;  // read-ahead, seekable streams only
+  std::size_t rpos_ = 0;
+  std::size_t rend_ = 0;
+};
+
+}  // namespace snapshot_detail
+
+/// Serializes a ChurnDriver's mutable state (sorted lifetime
+/// deadlines + capacity-pool cursor) as a checksummed companion
+/// section, typically appended to the same stream right after
+/// Swarm::save(). The driver's spec/config/pool are construction
+/// inputs, not state — the resuming side must rebuild the driver with
+/// the same ones (and the same Rng the swarm resumes into) before
+/// calling restore_churn_driver().
+template <typename SwarmT>
+void save_churn_driver(std::ostream& out, const ChurnDriver<SwarmT>& driver) {
+  snapshot_detail::Writer w(out);
+  w.u64(kChurnMagic);
+  w.u32(kSnapshotVersion);
+  const auto deadlines = driver.deadline_snapshot();
+  w.u64(deadlines.size());
+  for (const auto& [peer, deadline] : deadlines) {
+    w.u32(peer);
+    w.f64(deadline);
+  }
+  w.u64(driver.capacity_cursor());
+  w.finish();
+  if (!out) throw SnapshotError("churn snapshot: stream write failed");
+}
+
+/// Restores state saved by save_churn_driver() into a freshly
+/// constructed driver. Throws SnapshotError on bad magic, version
+/// mismatch, truncation, unordered/duplicate deadline ids, or
+/// checksum failure.
+template <typename SwarmT>
+void restore_churn_driver(std::istream& in, ChurnDriver<SwarmT>& driver) {
+  snapshot_detail::Reader r(in);
+  if (r.u64() != kChurnMagic) throw SnapshotError("churn snapshot: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("churn snapshot: unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t n = r.u64();
+  if (n > (std::uint64_t{1} << 32)) throw SnapshotError("churn snapshot: implausible deadline count");
+  std::vector<std::pair<core::PeerId, double>> deadlines;
+  deadlines.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const core::PeerId peer = r.u32();
+    const double deadline = r.f64();
+    if (!deadlines.empty() && peer <= deadlines.back().first) {
+      throw SnapshotError("churn snapshot: deadline ids not strictly ascending");
+    }
+    deadlines.emplace_back(peer, deadline);
+  }
+  const std::uint64_t cursor = r.u64();
+  r.verify_checksum();
+  driver.restore(deadlines, static_cast<std::size_t>(cursor));
+}
+
+/// One resumed run: owns the structural Rng (at a stable heap address
+/// — Swarm keeps a reference to it) together with the Swarm resumed
+/// against it. Move-only; moving keeps the reference valid.
+class ResumedSwarm {
+ public:
+  explicit ResumedSwarm(std::istream& in)
+      : rng_(std::make_unique<graph::Rng>()), swarm_(Swarm::resume(in, *rng_)) {}
+  ResumedSwarm(std::istream& in, const SwarmConfig& config)
+      : rng_(std::make_unique<graph::Rng>()), swarm_(Swarm::resume(in, *rng_, config)) {}
+
+  ResumedSwarm(ResumedSwarm&&) = default;
+  ResumedSwarm& operator=(ResumedSwarm&&) = delete;  // Swarm holds a reference member
+
+  [[nodiscard]] Swarm& swarm() noexcept { return *swarm_; }
+  [[nodiscard]] const Swarm& swarm() const noexcept { return *swarm_; }
+  /// The structural generator the swarm draws from — pass it to any
+  /// ChurnDriver that should continue in lockstep.
+  [[nodiscard]] graph::Rng& rng() noexcept { return *rng_; }
+
+ private:
+  std::unique_ptr<graph::Rng> rng_;
+  std::optional<Swarm> swarm_;
+};
+
+/// save() into a string buffer — the fork input.
+[[nodiscard]] std::string save_to_string(const Swarm& swarm);
+
+/// Resumes one (rng, swarm) pair from an in-memory snapshot.
+[[nodiscard]] ResumedSwarm resume_from_string(const std::string& snapshot);
+[[nodiscard]] ResumedSwarm resume_from_string(const std::string& snapshot,
+                                              const SwarmConfig& config);
+
+/// Warm-started what-if sweeps: resumes `copies` fully independent
+/// (rng, swarm) pairs from one snapshot. Every fork starts bitwise
+/// identical — drive each under a divergent ChurnSpec (or any other
+/// schedule) to explore futures of the same equilibrated swarm without
+/// re-simulating the ramp-up; drive one under the original schedule
+/// and it reproduces the uninterrupted run exactly.
+[[nodiscard]] std::vector<ResumedSwarm> fork_snapshot(const std::string& snapshot,
+                                                      std::size_t copies);
+
+}  // namespace strat::bt

@@ -86,6 +86,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <span>
 #include <utility>
@@ -321,6 +322,10 @@ inline std::size_t rebuild_bandwidth_ranks(const std::vector<PeerStats>& stats,
 }  // namespace detail
 
 /// The simulator.
+namespace snapshot_detail {
+class Writer;  // snapshot.hpp — save_impl() serializes through it
+}  // namespace snapshot_detail
+
 class Swarm {
  public:
   using Row = PeerTable::Row;
@@ -334,6 +339,45 @@ class Swarm {
 
   /// Advances `rounds` intervals.
   void run(std::size_t rounds);
+
+  // --- checkpoint/restore ---------------------------------------------
+
+  /// Serializes the complete run state — config, peer table, per-row
+  /// hot state, edge-slot pool, retired records, choker and RNG state
+  /// (the swarm's structural generator included), round/churn counters
+  /// — as one versioned, checksummed binary snapshot (see
+  /// snapshot.hpp for the format constants and README "Snapshot format
+  /// and resume contract" for the layout). Call between rounds only:
+  /// run_round() is atomic, so any point outside it is a valid
+  /// checkpoint. resume() continues bitwise-identically to the
+  /// uninterrupted run at any `threads` setting. Not serialized:
+  /// phase_profile() wall-clock accumulators and per-worker scratch
+  /// (reset on resume), neither of which feeds back into simulation
+  /// state. Throws SnapshotError if the stream write fails.
+  void save(std::ostream& out) const;
+
+  /// save() appending to a string buffer — same bytes, but skips the
+  /// ostream machinery (which dominates the cost at 10^5 peers). This
+  /// is the fast path behind save_to_string()/fork_snapshot().
+  void save(std::string& out) const;
+
+  /// Reconstructs a swarm from a save()d snapshot. `rng` becomes the
+  /// swarm's structural generator and is *overwritten* with the
+  /// checkpointed state, so subsequent draws — the swarm's and any
+  /// lockstep ChurnDriver's — continue the uninterrupted sequence.
+  /// Throws SnapshotError on bad magic, version mismatch, truncation,
+  /// checksum failure or any structural inconsistency (every index is
+  /// validated before use; a corrupt snapshot can never yield a swarm
+  /// with broken invariants).
+  [[nodiscard]] static Swarm resume(std::istream& in, graph::Rng& rng);
+
+  /// resume() with a config override: `config` must equal the
+  /// checkpointed config in every simulation-semantic field, but
+  /// `threads` may differ — results are bitwise identical at any
+  /// fan-out, so a snapshot taken on a laptop resumes unchanged on a
+  /// 64-core box. Throws SnapshotError if any other field differs.
+  [[nodiscard]] static Swarm resume(std::istream& in, graph::Rng& rng,
+                                    const SwarmConfig& config);
 
   // --- dynamic overlay ------------------------------------------------
 
@@ -488,6 +532,26 @@ class Swarm {
   [[nodiscard]] const PhaseProfile& phase_profile() const noexcept { return profile_; }
 
  private:
+  /// Tag ctor for resume(): binds config/rng and sizes the piece
+  /// containers, leaving every other member for the snapshot loader
+  /// (snapshot.cpp) to fill.
+  struct ResumeTag {};
+  Swarm(ResumeTag, const SwarmConfig& config, graph::Rng& rng)
+      : config_(config),
+        rng_(rng),
+        picker_(config.num_pieces),
+        reserved_scratch_(config.num_pieces) {}
+  /// Shared loader behind both resume() overloads (`override` may be
+  /// null); defined in snapshot.cpp next to save().
+  [[nodiscard]] static Swarm resume_impl(std::istream& in, graph::Rng& rng,
+                                         const SwarmConfig* override_config);
+  /// Shared body behind both save() overloads; defined in snapshot.cpp.
+  void save_impl(snapshot_detail::Writer& w) const;
+  /// Cheap upper bound on save()'s byte count, so the string overload
+  /// reserves once (mid-save reallocation copies of a 10^5-peer
+  /// snapshot would cost more than the serialization itself).
+  [[nodiscard]] std::size_t snapshot_byte_bound() const;
+
   void choke_step();
   /// Score/select for one row, drawing from the row's per-peer stream;
   /// `candidates` is the calling worker's scratch.

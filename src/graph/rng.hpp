@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace strat::graph {
@@ -88,6 +89,31 @@ class Rng {
   /// a = peer id, b = round) independent of iteration order: the swarm
   /// choke phase draws from these instead of one shared generator.
   [[nodiscard]] static Rng stream(std::uint64_t key, std::uint64_t a, std::uint64_t b) noexcept;
+
+  /// The complete generator state, exposed so simulations can be
+  /// checkpointed: restoring it continues the exact draw sequence
+  /// (Box-Muller's cached second normal included).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_normal_, has_cached_normal_};
+  }
+
+  /// Restores a state captured by state(). Rejects the all-zero word
+  /// vector (not a valid xoshiro256** state) with std::invalid_argument
+  /// so a corrupt checkpoint cannot wedge the generator.
+  void restore(const State& st) {
+    if ((st.s[0] | st.s[1] | st.s[2] | st.s[3]) == 0) {
+      throw std::invalid_argument("Rng::restore: all-zero state");
+    }
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,76 @@
+// Swarm::phase_profile() plumbing: the per-phase wall-clock
+// accumulators behind the BM_SwarmRoundThreads speedup counters. The
+// contract the bench (and the thread-scaling acceptance bar) relies
+// on: every phase a config exercises accumulates, nothing is ever
+// negative, and the phase sum never exceeds the measured whole-round
+// wall time (the phases are disjoint sections of run_round()).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/swarm.hpp"
+
+namespace strat::bt {
+namespace {
+
+constexpr std::uint64_t kSeed = 90;
+
+SwarmConfig profiled_config(std::size_t peers, std::size_t threads) {
+  SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 2;
+  cfg.num_pieces = 64;
+  cfg.piece_kb = 32.0;
+  cfg.neighbor_degree = 14.0;
+  cfg.initial_completion = 0.5;
+  cfg.endgame = true;  // so the endgame count phase runs too
+  cfg.threads = threads;
+  return cfg;
+}
+
+double phase_sum(const Swarm::PhaseProfile& prof) {
+  return prof.choke_seconds + prof.endgame_seconds + prof.mutual_seconds +
+         prof.transfer_seconds + prof.fold_seconds;
+}
+
+void expect_profile_contract(std::size_t threads) {
+  constexpr std::size_t kPeers = 150;
+  const SwarmConfig cfg = profiled_config(kPeers, threads);
+  graph::Rng rng(kSeed);
+  Swarm swarm(cfg, BandwidthModel::saroiu2002().representative_sample(kPeers), rng);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  swarm.run(10);
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const Swarm::PhaseProfile& prof = swarm.phase_profile();
+  // Every phase this config exercises must have accumulated.
+  EXPECT_GT(prof.choke_seconds, 0.0);
+  EXPECT_GT(prof.endgame_seconds, 0.0);
+  EXPECT_GT(prof.mutual_seconds, 0.0);
+  EXPECT_GT(prof.transfer_seconds, 0.0);
+  EXPECT_GT(prof.fold_seconds, 0.0);
+  // Phases are disjoint sections of run_round(): their sum is bounded
+  // by the wall time of the rounds that contained them.
+  EXPECT_LE(phase_sum(prof), wall);
+}
+
+TEST(SwarmProfile, PhaseTimesPopulatedAndBoundedSerial) { expect_profile_contract(1); }
+
+TEST(SwarmProfile, PhaseTimesPopulatedAndBoundedThreaded) { expect_profile_contract(2); }
+
+TEST(SwarmProfile, ProfileAccumulatesMonotonically) {
+  const SwarmConfig cfg = profiled_config(100, 1);
+  graph::Rng rng(kSeed);
+  Swarm swarm(cfg, BandwidthModel::saroiu2002().representative_sample(100), rng);
+  swarm.run(3);
+  const double after3 = phase_sum(swarm.phase_profile());
+  EXPECT_GT(after3, 0.0);
+  swarm.run(3);
+  EXPECT_GE(phase_sum(swarm.phase_profile()), after3);
+}
+
+}  // namespace
+}  // namespace strat::bt

@@ -1,0 +1,413 @@
+// Resume-equivalence differential tier for the checkpoint/restore
+// subsystem: Swarm::save() at round k, resume(), and the continued run
+// must be bitwise identical to the uninterrupted one — every PeerStats
+// field, the stratification report, and every *subsequent* structural
+// RNG draw — at any SwarmConfig::threads value, static and churned,
+// and still bitwise equal to the map-based ReferenceSwarm oracle that
+// never checkpoints at all. Re-saving a resumed swarm must reproduce
+// the original byte stream (serialization is a pure function of run
+// state). The robustness half feeds the loader hostile streams — bad
+// magic, wrong version, every truncation point, single-byte
+// corruption — and requires a clean SnapshotError every time (the
+// ASan/UBSan CI job runs this binary to certify no UB on any path).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/peer_table.hpp"
+#include "bittorrent/reference_swarm.hpp"
+#include "bittorrent/scenario.hpp"
+#include "bittorrent/snapshot.hpp"
+#include "bittorrent/swarm.hpp"
+
+namespace strat::bt {
+namespace {
+
+constexpr std::uint64_t kSeed = 90;
+constexpr std::size_t kRounds = 40;
+constexpr std::size_t kPostDraws = 16;  // structural draws compared after the run
+
+std::vector<double> capacities(std::size_t n) {
+  return BandwidthModel::saroiu2002().representative_sample(n);
+}
+
+SwarmConfig base_config(std::size_t peers) {
+  SwarmConfig cfg;
+  cfg.num_peers = peers;
+  cfg.seeds = 2;
+  cfg.num_pieces = 64;
+  cfg.piece_kb = 32.0;
+  cfg.neighbor_degree = 14.0;
+  cfg.initial_completion = 0.5;
+  cfg.endgame = true;        // partial/in-flight/reservation state in the stream
+  cfg.stay_as_seed = false;  // completion departures: tombstones + retired records
+  return cfg;
+}
+
+ChurnSpec churny_spec() {
+  ChurnSpec spec;
+  spec.arrivals = ChurnSpec::Arrivals::kPoisson;
+  spec.arrival_rate = 2.0;
+  spec.arrival_completion = 0.4;
+  spec.lifetime = ChurnSpec::Lifetime::kExponential;
+  spec.lifetime_rounds = 25.0;
+  spec.replacement_rate = 2.0;
+  spec.reannounce_interval = 5;
+  return spec;
+}
+
+/// Everything a run exposes, plus the structural draws that follow it.
+struct EndState {
+  std::vector<PeerStats> stats;
+  StratificationReport strat;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t live = 0;
+  std::size_t completed = 0;
+  std::vector<std::uint64_t> post_draws;
+};
+
+template <typename SwarmT>
+EndState end_state_of(const SwarmT& swarm, graph::Rng& rng) {
+  EndState end;
+  for (core::PeerId p = 0; p < swarm.peer_count(); ++p) end.stats.push_back(swarm.stats(p));
+  end.strat = swarm.stratification();
+  end.arrivals = swarm.arrivals();
+  end.departures = swarm.departures();
+  end.live = swarm.live_peer_count();
+  end.completed = swarm.completed_leechers();
+  for (std::size_t i = 0; i < kPostDraws; ++i) end.post_draws.push_back(rng());
+  return end;
+}
+
+void expect_bitwise_equal(const EndState& a, const EndState& b, const char* what) {
+  ASSERT_EQ(a.stats.size(), b.stats.size()) << what;
+  for (std::size_t p = 0; p < a.stats.size(); ++p) {
+    ASSERT_EQ(a.stats[p].upload_kbps, b.stats[p].upload_kbps) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].uploaded_kb, b.stats[p].uploaded_kb) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].downloaded_kb, b.stats[p].downloaded_kb) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].pieces, b.stats[p].pieces) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].completion_round, b.stats[p].completion_round) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].join_round, b.stats[p].join_round) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].leave_round, b.stats[p].leave_round) << what << " peer " << p;
+    ASSERT_EQ(a.stats[p].seed, b.stats[p].seed) << what << " peer " << p;
+  }
+  EXPECT_EQ(a.strat.reciprocated_pairs, b.strat.reciprocated_pairs) << what;
+  EXPECT_EQ(a.strat.mean_normalized_offset, b.strat.mean_normalized_offset) << what;
+  EXPECT_EQ(a.strat.partner_rank_correlation, b.strat.partner_rank_correlation) << what;
+  EXPECT_EQ(a.arrivals, b.arrivals) << what;
+  EXPECT_EQ(a.departures, b.departures) << what;
+  EXPECT_EQ(a.live, b.live) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+  ASSERT_EQ(a.post_draws.size(), b.post_draws.size()) << what;
+  for (std::size_t i = 0; i < a.post_draws.size(); ++i) {
+    ASSERT_EQ(a.post_draws[i], b.post_draws[i]) << what << " post-run draw " << i;
+  }
+}
+
+/// One uninterrupted run with a checkpoint taken mid-flight: the swarm
+/// (and, when churned, the driver) serialized after `save_round`
+/// rounds, then driven to `rounds` without interruption.
+struct UninterruptedRun {
+  std::string swarm_snapshot;
+  std::string churn_snapshot;  // empty when not churned
+  EndState end;
+};
+
+UninterruptedRun run_with_checkpoint(const SwarmConfig& cfg, std::size_t peers, bool churned,
+                                     std::size_t save_round, std::size_t rounds = kRounds,
+                                     std::uint64_t seed = kSeed) {
+  graph::Rng rng(seed);
+  Swarm swarm(cfg, capacities(peers), rng);
+  ChurnDriver<Swarm> churn(churny_spec(), cfg, capacities(peers), rng);
+  if (churned) churn.attach(swarm);
+  UninterruptedRun run;
+  auto checkpoint = [&] {
+    run.swarm_snapshot = save_to_string(swarm);
+    if (churned) {
+      std::ostringstream out(std::ios::binary);
+      save_churn_driver(out, churn);
+      run.churn_snapshot = std::move(out).str();
+    }
+  };
+  if (save_round == 0) checkpoint();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (churned) churn.before_round(swarm);
+    swarm.run_round();
+    if (r + 1 == save_round) checkpoint();
+  }
+  run.end = end_state_of(swarm, rng);
+  return run;
+}
+
+/// Resumes `run`'s checkpoint and drives it to `rounds` under the same
+/// schedule, returning the continued end state.
+EndState continue_from(const UninterruptedRun& run, const SwarmConfig& cfg, std::size_t peers,
+                       bool churned, std::size_t rounds = kRounds,
+                       const SwarmConfig* override_cfg = nullptr) {
+  graph::Rng rng;  // state comes entirely from the snapshot
+  std::istringstream in(run.swarm_snapshot, std::ios::binary);
+  Swarm swarm = override_cfg != nullptr ? Swarm::resume(in, rng, *override_cfg)
+                                        : Swarm::resume(in, rng);
+  ChurnDriver<Swarm> churn(churny_spec(), cfg, capacities(peers), rng);
+  if (churned) {
+    std::istringstream churn_in(run.churn_snapshot, std::ios::binary);
+    restore_churn_driver(churn_in, churn);  // NOT attach(): deadlines come from the stream
+  }
+  for (std::size_t r = swarm.rounds_elapsed(); r < rounds; ++r) {
+    if (churned) churn.before_round(swarm);
+    swarm.run_round();
+  }
+  return end_state_of(swarm, rng);
+}
+
+/// The oracle never checkpoints: a straight ReferenceSwarm run.
+EndState run_reference(const SwarmConfig& cfg, std::size_t peers, bool churned) {
+  graph::Rng rng(kSeed);
+  ReferenceSwarm swarm(cfg, capacities(peers), rng);
+  ChurnDriver<ReferenceSwarm> churn(churny_spec(), cfg, capacities(peers), rng);
+  if (churned) churn.attach(swarm);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    if (churned) churn.before_round(swarm);
+    swarm.run_round();
+  }
+  return end_state_of(swarm, rng);
+}
+
+// --- resume equivalence ---------------------------------------------------
+
+TEST(SwarmSnapshot, StaticRunResumesBitwiseIdentically) {
+  constexpr std::size_t kPeers = 200;
+  const SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/false, 15);
+  const EndState resumed = continue_from(run, cfg, kPeers, /*churned=*/false);
+  expect_bitwise_equal(run.end, resumed, "resumed vs uninterrupted (static)");
+  expect_bitwise_equal(run.end, run_reference(cfg, kPeers, /*churned=*/false),
+                       "reference vs uninterrupted (static)");
+}
+
+TEST(SwarmSnapshot, ChurnedRunResumesBitwiseIdentically) {
+  constexpr std::size_t kPeers = 200;
+  const SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, 20);
+  const EndState resumed = continue_from(run, cfg, kPeers, /*churned=*/true);
+  expect_bitwise_equal(run.end, resumed, "resumed vs uninterrupted (churned)");
+  expect_bitwise_equal(run.end, run_reference(cfg, kPeers, /*churned=*/true),
+                       "reference vs uninterrupted (churned)");
+}
+
+TEST(SwarmSnapshot, ResumeIsThreadCountInvariant) {
+  // A snapshot taken from a serial run resumes bitwise-identically
+  // under any fan-out (the config override admits exactly `threads`).
+  constexpr std::size_t kPeers = 300;
+  const SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, 20);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}, std::size_t{0}}) {
+    SwarmConfig threaded = cfg;
+    threaded.threads = threads;
+    const EndState resumed = continue_from(run, cfg, kPeers, /*churned=*/true, kRounds, &threaded);
+    expect_bitwise_equal(run.end, resumed, "threaded resume vs serial uninterrupted");
+  }
+}
+
+TEST(SwarmSnapshot, EveryCheckpointRoundIsEquivalent) {
+  // Round 0 (nothing elapsed), mid-run, and the final round (nothing
+  // left to simulate) are all valid checkpoints.
+  constexpr std::size_t kPeers = 120;
+  const SwarmConfig cfg = base_config(kPeers);
+  for (const std::size_t save_round : {std::size_t{0}, std::size_t{7}, std::size_t{23}, kRounds}) {
+    const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, save_round);
+    const EndState resumed = continue_from(run, cfg, kPeers, /*churned=*/true);
+    expect_bitwise_equal(run.end, resumed, "resumed vs uninterrupted (varying save round)");
+  }
+}
+
+TEST(SwarmSnapshot, ResaveReproducesByteIdenticalStream) {
+  // Serialization is a pure function of run state: save -> resume ->
+  // save must reproduce the original bytes exactly.
+  constexpr std::size_t kPeers = 150;
+  const SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, 18);
+  ResumedSwarm resumed = resume_from_string(run.swarm_snapshot);
+  EXPECT_EQ(save_to_string(resumed.swarm()), run.swarm_snapshot);
+}
+
+TEST(SwarmSnapshot, RoundTripFuzzAcrossSeedsAndRounds) {
+  // Randomized save points and run seeds: the resumed run must match
+  // the uninterrupted one and re-serialize byte-identically each time.
+  constexpr std::size_t kPeers = 80;
+  const SwarmConfig cfg = base_config(kPeers);
+  graph::Rng meta(0xF0F0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint64_t seed = meta();
+    const auto save_round = static_cast<std::size_t>(meta.below(kRounds + 1));
+    const UninterruptedRun run =
+        run_with_checkpoint(cfg, kPeers, /*churned=*/true, save_round, kRounds, seed);
+    {
+      ResumedSwarm resumed = resume_from_string(run.swarm_snapshot);
+      ASSERT_EQ(save_to_string(resumed.swarm()), run.swarm_snapshot)
+          << "seed " << seed << " save round " << save_round;
+    }
+    const EndState resumed = continue_from(run, cfg, kPeers, /*churned=*/true);
+    expect_bitwise_equal(run.end, resumed, "fuzz resumed vs uninterrupted");
+  }
+}
+
+// --- fork ------------------------------------------------------------------
+
+TEST(SwarmSnapshot, ForkUnderOriginalScheduleMatchesUninterrupted) {
+  constexpr std::size_t kPeers = 150;
+  const SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, 20);
+  std::vector<ResumedSwarm> forks = fork_snapshot(run.swarm_snapshot, 2);
+  ASSERT_EQ(forks.size(), 2u);
+  // Fork 0 continues the checkpointed schedule: bitwise equal to the
+  // uninterrupted run.
+  {
+    ResumedSwarm& fork = forks[0];
+    ChurnDriver<Swarm> churn(churny_spec(), cfg, capacities(kPeers), fork.rng());
+    std::istringstream churn_in(run.churn_snapshot, std::ios::binary);
+    restore_churn_driver(churn_in, churn);
+    for (std::size_t r = fork.swarm().rounds_elapsed(); r < kRounds; ++r) {
+      churn.before_round(fork.swarm());
+      fork.swarm().run_round();
+    }
+    expect_bitwise_equal(run.end, end_state_of(fork.swarm(), fork.rng()),
+                         "fork 0 vs uninterrupted");
+  }
+  // Fork 1 explores a divergent future: triple the replacement churn.
+  // It must diverge from the original (the what-if has an effect) while
+  // both histories share the checkpointed prefix.
+  {
+    ResumedSwarm& fork = forks[1];
+    ChurnSpec divergent = churny_spec();
+    divergent.replacement_rate = 6.0;
+    ChurnDriver<Swarm> churn(divergent, cfg, capacities(kPeers), fork.rng());
+    std::istringstream churn_in(run.churn_snapshot, std::ios::binary);
+    restore_churn_driver(churn_in, churn);
+    const std::size_t shared_arrivals = fork.swarm().arrivals();
+    for (std::size_t r = fork.swarm().rounds_elapsed(); r < kRounds; ++r) {
+      churn.before_round(fork.swarm());
+      fork.swarm().run_round();
+    }
+    EXPECT_GE(fork.swarm().arrivals(), shared_arrivals);
+    EXPECT_NE(fork.swarm().departures(), run.end.departures)
+        << "tripled replacement churn should change the departure count";
+  }
+}
+
+// --- churn-driver state ----------------------------------------------------
+
+TEST(SwarmSnapshot, ChurnDriverStateRoundTrips) {
+  constexpr std::size_t kPeers = 100;
+  const SwarmConfig cfg = base_config(kPeers);
+  graph::Rng rng(kSeed);
+  Swarm swarm(cfg, capacities(kPeers), rng);
+  ChurnDriver<Swarm> churn(churny_spec(), cfg, capacities(kPeers), rng);
+  churn.attach(swarm);
+  for (std::size_t r = 0; r < 10; ++r) {
+    churn.before_round(swarm);
+    swarm.run_round();
+  }
+  std::ostringstream out(std::ios::binary);
+  save_churn_driver(out, churn);
+  const std::string bytes = std::move(out).str();
+
+  graph::Rng rng2(kSeed);
+  ChurnDriver<Swarm> restored(churny_spec(), cfg, capacities(kPeers), rng2);
+  std::istringstream in(bytes, std::ios::binary);
+  restore_churn_driver(in, restored);
+  EXPECT_EQ(restored.deadline_snapshot(), churn.deadline_snapshot());
+  EXPECT_EQ(restored.capacity_cursor(), churn.capacity_cursor());
+}
+
+// --- id-index compaction (the 4 B/arrival-ever fix) ------------------------
+
+TEST(SwarmSnapshot, LoadedIdIndexHasZeroCapacitySlack) {
+  // The in-process id->row map grows geometrically (capacity slack on
+  // top of 4 B per id ever); PeerTable::restore rebuilds it at exactly
+  // id_space entries. The loaded index must be the information-
+  // theoretic floor — live rows + tombstones, nothing more.
+  constexpr std::size_t kPeers = 100;
+  SwarmConfig cfg = base_config(kPeers);
+  const UninterruptedRun run = run_with_checkpoint(cfg, kPeers, /*churned=*/true, kRounds);
+  ResumedSwarm resumed = resume_from_string(run.swarm_snapshot);
+  const PeerTable& table = resumed.swarm().peer_table();
+  EXPECT_GT(table.id_space(), kPeers + 2) << "churn should have grown the id space";
+  EXPECT_EQ(table.id_map_bytes(), table.id_space() * sizeof(PeerTable::Row))
+      << "loaded id->row index must carry zero capacity slack";
+}
+
+// --- robustness ------------------------------------------------------------
+
+std::string tiny_snapshot() {
+  SwarmConfig cfg = base_config(8);
+  cfg.neighbor_degree = 4.0;
+  cfg.num_pieces = 16;
+  graph::Rng rng(kSeed);
+  Swarm swarm(cfg, capacities(8), rng);
+  swarm.run(3);
+  return save_to_string(swarm);
+}
+
+TEST(SwarmSnapshot, RejectsBadMagic) {
+  std::string bytes = tiny_snapshot();
+  bytes[0] ^= 0x5A;
+  EXPECT_THROW((void)resume_from_string(bytes), SnapshotError);
+}
+
+TEST(SwarmSnapshot, RejectsWrongVersion) {
+  std::string bytes = tiny_snapshot();
+  bytes[8] = 99;  // the version u32 follows the 8-byte magic
+  EXPECT_THROW((void)resume_from_string(bytes), SnapshotError);
+}
+
+TEST(SwarmSnapshot, RejectsEveryTruncationPoint) {
+  const std::string bytes = tiny_snapshot();
+  // Every strictly-shorter prefix must throw — never crash, never
+  // yield a swarm. Small snapshot, so all prefixes are affordable.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)resume_from_string(bytes.substr(0, len)), SnapshotError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SwarmSnapshot, RejectsSingleByteCorruption) {
+  const std::string bytes = tiny_snapshot();
+  // Flip one byte at a time across the whole stream: the checksum (or
+  // an earlier structural check) must reject every variant. The loader
+  // may throw at any layer, but it must always throw SnapshotError —
+  // a corrupt snapshot can never come up as a live swarm.
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0xFF);
+    EXPECT_THROW((void)resume_from_string(corrupt), SnapshotError) << "byte offset " << at;
+  }
+}
+
+TEST(SwarmSnapshot, RejectsConfigOverrideMismatch) {
+  const std::string bytes = tiny_snapshot();
+  SwarmConfig cfg = base_config(8);
+  cfg.neighbor_degree = 4.0;
+  cfg.num_pieces = 16;
+  cfg.threads = 4;  // allowed to differ
+  EXPECT_NO_THROW((void)resume_from_string(bytes, cfg));
+  cfg.piece_kb *= 2.0;  // not allowed to differ
+  EXPECT_THROW((void)resume_from_string(bytes, cfg), SnapshotError);
+}
+
+TEST(SwarmSnapshot, RejectsChurnSectionAsSwarmSnapshot) {
+  SwarmConfig cfg = base_config(8);
+  graph::Rng rng(kSeed);
+  ChurnDriver<Swarm> churn(churny_spec(), cfg, capacities(8), rng);
+  std::ostringstream out(std::ios::binary);
+  save_churn_driver(out, churn);
+  EXPECT_THROW((void)resume_from_string(std::move(out).str()), SnapshotError);
+}
+
+}  // namespace
+}  // namespace strat::bt
