@@ -341,12 +341,17 @@ void ReferenceSwarm::run_round() {
   const double alpha = config_.rate_smoothing;
   auto fold = [&](std::unordered_map<core::PeerId, double>& rate,
                   std::unordered_map<core::PeerId, double>& now) {
+    // strat-lint: allow(unordered-iter) -- each key's smoothing update is
+    // independent of every other key's, so visit order cannot change any
+    // stored value; no RNG is drawn and nothing order-dependent follows.
     for (auto& [peer, kb] : rate) {
       auto it = now.find(peer);
       const double fresh = it == now.end() ? 0.0 : it->second;
       kb = alpha * fresh + (1.0 - alpha) * kb;
       if (it != now.end()) now.erase(it);
     }
+    // strat-lint: allow(unordered-iter) -- per-key inserts into a distinct
+    // map; the resulting contents are order-independent.
     for (const auto& [peer, kb] : now) rate[peer] = alpha * kb;
     now.clear();
   };
@@ -415,6 +420,8 @@ StratificationReport ReferenceSwarm::stratification() const {
 
   // Iterate pairs in sorted (p, q) order so the floating-point
   // accumulation order matches the flat implementation exactly.
+  // strat-lint: allow(unordered-iter) -- copied then sorted on the next
+  // line; the FP accumulation below walks the sorted copy only.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> sorted(mutual_rounds_.begin(),
                                                               mutual_rounds_.end());
   std::sort(sorted.begin(), sorted.end());

@@ -159,6 +159,8 @@ class ChurnDriver {
       // keeps driver memory O(live) across unbounded arrivals (it used
       // to grow 8 bytes per arrival-ever) without consuming RNG.
       if (deadline_.size() > 2 * swarm.live_peer_count() + 64) {
+        // strat-lint: allow(unordered-iter) -- erasure sweep: the surviving
+        // map contents are independent of visit order and no RNG is drawn.
         for (auto it = deadline_.begin(); it != deadline_.end();) {
           it = swarm.departed(it->first) ? deadline_.erase(it) : std::next(it);
         }
@@ -217,6 +219,8 @@ class ChurnDriver {
 
   /// Deadline entries sorted ascending by external peer id.
   [[nodiscard]] std::vector<std::pair<core::PeerId, double>> deadline_snapshot() const {
+    // strat-lint: allow(unordered-iter) -- copied then sorted below; the
+    // bucket order never reaches the serialized bytes.
     std::vector<std::pair<core::PeerId, double>> out(deadline_.begin(), deadline_.end());
     std::sort(out.begin(), out.end());
     return out;
@@ -266,18 +270,27 @@ class ChurnDriver {
     return it == deadline_.end() ? std::numeric_limits<double>::infinity() : it->second;
   }
 
+  // strat-lint: not-serialized -- construction input; the resuming caller
+  // rebuilds the driver with the same spec (see restore()).
   ChurnSpec spec_;
+  // strat-lint: not-serialized -- construction input, equal to the swarm's
   SwarmConfig config_;
+  // strat-lint: not-serialized -- construction input (arrival capacity pool)
   std::vector<double> pool_;
+  // strat-lint: not-serialized -- the swarm's structural generator; its
+  // words travel in the swarm snapshot, never in the companion section.
   graph::Rng& rng_;
   // Departure deadlines of live leechers, keyed by external id
   // (populated only when a lifetime model is active). Entries are
   // erased when the driver departs a peer and swept when completion
   // departures strand them, so the map stays O(live) — external ids
   // grow forever, a vector indexed by them would too.
+  // strat-lint: serialized-via(deadline_snapshot, restore)
   std::unordered_map<core::PeerId, double> deadline_;
   // Live-id snapshot scratch, O(live), reused across rounds.
+  // strat-lint: not-serialized -- scratch, reassigned before every use
   std::vector<core::PeerId> live_scratch_;
+  // strat-lint: serialized-via(capacity_cursor, restore)
   std::size_t next_capacity_ = 0;
 };
 

@@ -138,14 +138,35 @@ using snapshot_detail::Writer;
 
 constexpr std::uint32_t kNoRetired = std::numeric_limits<std::uint32_t>::max();
 
-// Section tags, in stream order.
+/// Section tags, in stream order. Each section below lists the Swarm
+/// members it carries — strat-lint R4 (snapshot-complete) cross-checks
+/// this file against the member list in swarm.hpp, so this checklist
+/// doubles as the format documentation: a member added to the class
+/// must show up in one of these sections (or carry a written waiver)
+/// before the tree lints clean. R4 also verifies every tag is both
+/// written by save_impl and expected by resume_impl.
+/// Scenario/config values (SwarmConfig, field-by-field).
 constexpr std::uint32_t kTagConfig = 1;
+/// RNG: choke_key_ plus the xoshiro word state and the Box-Muller
+/// cache of the structural rng_.
 constexpr std::uint32_t kTagRng = 2;
+/// Peer table: id space, live ids (row order), row generations.
 constexpr std::uint32_t kTagTable = 3;
+/// Scalar counters: round_, leechers_, arrivals_, departures_,
+/// retired_completed_.
 constexpr std::uint32_t kTagCounters = 4;
+/// Edge-slot pool: edge_peer_, mirror_, slot_gen_, free_slots_,
+/// rate_in_, rate_out_, inflight_, mutual_rounds_ (now_in_/now_out_
+/// deliberately absent — zeroed at every round boundary).
 constexpr std::uint32_t kTagSlots = 5;
+/// Per-row hot state in row order: stats_, have_, chokers_, unchoked_,
+/// nbr_/nslot_, partial_.
 constexpr std::uint32_t kTagPeers = 6;
+/// Retired records: retirement-order ids (the inverse of retired_ix_),
+/// retired_stats_, retired_mutual_.
 constexpr std::uint32_t kTagRetired = 7;
+/// Piece-availability cross-check (derived from live have_ bitfields;
+/// the loader recomputes and must match).
 constexpr std::uint32_t kTagAvail = 8;
 
 // Allocation guards for length-prefixed vectors: generous multiples of

@@ -529,6 +529,11 @@ class Swarm {
     double transfer_seconds = 0.0;  // serial: upload redistribution
     double fold_seconds = 0.0;      // parallel: rate smoothing fold
   };
+  /// Read-only view of the accumulated per-phase timings. Profiling
+  /// output only — the values never feed back into simulation state,
+  /// which is why `profile_` carries a strat-lint `not-serialized`
+  /// waiver (R4): a resumed run restarts its timers at zero yet stays
+  /// bitwise-identical to the uninterrupted one.
   [[nodiscard]] const PhaseProfile& phase_profile() const noexcept { return profile_; }
 
  private:
@@ -605,7 +610,10 @@ class Swarm {
   /// Tracker target degree (llround(neighbor_degree)).
   [[nodiscard]] std::size_t target_degree() const;
 
+  // strat-lint: serialized-via(write_config, read_config)
   SwarmConfig config_;
+  // strat-lint: serialized-via(rng_, restore) -- xoshiro words + Box-Muller
+  // cache captured in save_impl, restored into the caller's generator.
   graph::Rng& rng_;
   /// Run key for the per-peer choke streams (one structural draw at
   /// construction): peer p's round-r choke randomness is
@@ -634,17 +642,24 @@ class Swarm {
   // (row-indexed, compacted mid-round with the table), and a reusable
   // exclusion bitfield for the request discipline (reserved_list_
   // tracks its set bits for O(deg) clears).
+  // strat-lint: not-serialized -- rebuilt from unchoked_ every round
   std::vector<std::uint32_t> incoming_unchokes_;
+  // strat-lint: not-serialized -- sized by the ResumeTag ctor, cleared per use
   Bitfield reserved_scratch_;
+  // strat-lint: not-serialized -- per-transfer scratch, cleared per use
   std::vector<PieceId> reserved_list_;
   // Sender-order snapshot for transfer_step (externals stay valid
   // while completion departures compact rows mid-round).
+  // strat-lint: not-serialized -- rebuilt at the top of every transfer_step
   std::vector<core::PeerId> order_scratch_;
   // Per-chunk scratch for the parallel phases: one candidates buffer
   // per choke worker (the hoisted per-row allocation), one tally
   // vector per endgame-count worker. Sized lazily to the chunk count.
+  // strat-lint: not-serialized -- per-worker scratch, resized to the fan-out
   std::vector<std::vector<ChokeCandidate>> choke_scratch_;
+  // strat-lint: not-serialized -- per-worker scratch, resized to the fan-out
   std::vector<std::vector<std::uint32_t>> incoming_scratch_;
+  // strat-lint: not-serialized -- wall-clock accounting, never simulation state
   PhaseProfile profile_;
 
   // --- retired records --------------------------------------------------
@@ -666,8 +681,11 @@ class Swarm {
   std::vector<std::uint32_t> slot_gen_;   // release count
   std::vector<std::size_t> free_slots_;   // recycling free list
   std::vector<double> rate_in_;   // smoothed KB/round received on slot
+  // strat-lint: not-serialized -- provably zero between rounds (fold_rates
+  // clears it; save() may only run at round boundaries); re-zeroed on load
   std::vector<double> now_in_;    // current round's receipts on slot
   std::vector<double> rate_out_;  // smoothed KB/round sent on slot (seed policy)
+  // strat-lint: not-serialized -- provably zero between rounds, like now_in_
   std::vector<double> now_out_;   // current round's sends on slot
   // In-flight target piece per receiver-owned slot (receiver = slot
   // owner, sender = edge_peer_[slot]); kNoPiece when idle.
@@ -683,10 +701,13 @@ class Swarm {
   // join() only marks them dirty, so churn-heavy rounds never pay the
   // O(L log L) sort — the readers (stratification, reciprocated_pairs)
   // refresh on demand.
+  // strat-lint: not-serialized -- derived cache; refresh_ranks_force() on load
   mutable std::vector<std::size_t> bandwidth_rank_;
+  // strat-lint: not-serialized -- dirty bit of the derived rank cache
   mutable bool ranks_dirty_ = false;
   // Leechers covered by bandwidth_rank_ (ever with the archive, live
   // without) — the offset normalization in stratification().
+  // strat-lint: not-serialized -- derived with bandwidth_rank_ on refresh
   mutable std::size_t leechers_ranked_ = 0;
   std::size_t round_ = 0;
   std::size_t leechers_ = 0;     // leechers ever (initial + arrivals)

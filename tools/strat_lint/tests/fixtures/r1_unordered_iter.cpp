@@ -1,0 +1,28 @@
+// Fixture: seeded R1 violations — iteration over unordered containers.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<int, double> rates_by_peer;
+std::unordered_set<std::string> banned_names;
+
+double sum_rates() {
+  double total = 0.0;
+  for (const auto& kv : rates_by_peer) {  // VIOLATION: range-for over unordered_map
+    total += kv.second;
+  }
+  return total;
+}
+
+std::size_t walk_banned() {
+  std::size_t n = 0;
+  for (auto it = banned_names.begin(); it != banned_names.end(); ++it) {  // VIOLATION: .begin() walk
+    n += it->size();
+  }
+  return n;
+}
+
+}  // namespace fixture

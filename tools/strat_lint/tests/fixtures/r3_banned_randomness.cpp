@@ -1,0 +1,36 @@
+// Fixture: seeded R3 violations — every banned randomness / wall-clock
+// source the rule knows about.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned hidden_seed() {
+  std::random_device rd;  // VIOLATION: nondeterministic seed source
+  return rd();
+}
+
+void seed_globals() {
+  std::srand(42);  // VIOLATION: hidden global generator state
+}
+
+int global_draw() {
+  return std::rand();  // VIOLATION: hidden global generator state
+}
+
+long wall_seed() {
+  return time(nullptr);  // VIOLATION: wall-clock seeding
+}
+
+long long wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // VIOLATION: wall clock
+}
+
+double stdlib_draw() {
+  std::mt19937 gen(1234);  // VIOLATION: bypasses graph::Rng
+  return static_cast<double>(gen());
+}
+
+}  // namespace fixture
