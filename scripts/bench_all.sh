@@ -35,8 +35,11 @@ done
 # population — flat across the two args is the peer-table compaction
 # working; the 10^6 point takes ~30 s), and the intra-round
 # thread-scaling sweep (BM_SwarmRoundThreads at 10^5 peers x threads
-# 1/2/4/8: choke_fold_ms across the sweep is the parallel-phase
-# speedup, bitwise-identical results per seed), and the checkpoint
+# 1/2/4/8: choke_fold_ms + transfer_compute_ms across the sweep is
+# the parallel-phase speedup, serial_ms = mutual + transfer commit is
+# the Amdahl remainder, and rerun_frac — the speculative-plan conflict
+# rate — is thread-count invariant; bitwise-identical results per
+# seed), and the checkpoint
 # cost (BM_SwarmSnapshot at 10^4/10^5 peers: snapshot_mb plus save/
 # load ms, with save_load_vs_round < 1.0 as the affordability bar),
 # as one JSON snapshot (BENCH_swarm.json) for regression comparisons

@@ -210,7 +210,7 @@ void ReferenceSwarm::count_incoming_unchokes() {
   }
 }
 
-std::optional<PieceId> ReferenceSwarm::pick_for(core::PeerId q, core::PeerId p) {
+std::optional<PieceId> ReferenceSwarm::pick_for(core::PeerId q, core::PeerId p, graph::Rng& rng) {
   if (config_.endgame) {
     const std::size_t missing = config_.num_pieces - stats_[q].pieces;
     if (missing >= incoming_unchokes_[q]) {
@@ -225,10 +225,69 @@ std::optional<PieceId> ReferenceSwarm::pick_for(core::PeerId q, core::PeerId p) 
           reserved_list_.push_back(t);
         }
       }
-      return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng_);
+      return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng);
     }
   }
-  return picker_.pick_rarest(have_[q], have_[p], rng_);
+  return picker_.pick_rarest(have_[q], have_[p], rng);
+}
+
+std::optional<PieceId> ReferenceSwarm::plan_pick(const detail::TransferLane& lane, core::PeerId q,
+                                                core::PeerId p, graph::Rng& rng) {
+  bool endgame_dup = false;
+  if (config_.endgame) {
+    const std::size_t missing =
+        config_.num_pieces - (stats_[q].pieces + lane.completed.size());
+    endgame_dup = missing < incoming_unchokes_[q];
+  }
+  if (endgame_dup && lane.completed.empty()) {
+    return picker_.pick_rarest(have_[q], have_[p], rng);
+  }
+  for (const PieceId piece : reserved_list_) reserved_scratch_.reset(piece);
+  reserved_list_.clear();
+  reserved_partials_.clear();
+  // Completed-first like the flat plane: keeps lane-completed pieces
+  // out of the releasable soft tier.
+  for (const PieceId t : lane.completed) {
+    if (reserved_scratch_.test(t)) continue;
+    reserved_scratch_.set(t);
+    reserved_list_.push_back(t);
+  }
+  if (!endgame_dup) {
+    if (config_.endgame) {
+      // Reservations come from the phase-start in-flight snapshot, like
+      // the flat plane's plan_pick — not the live mid-phase state the old
+      // serial algorithm saw.
+      // strat-lint: allow(unordered-iter) -- the exclusion set is a
+      // bitfield; set order is commutative, identical to the flat
+      // plane's slot scan.
+      for (const auto& [sender, t] : inflight_[q]) {
+        if (sender == p) continue;
+        if (t != kNoPiece && !have_[q].test(t)) {
+          reserved_scratch_.set(t);
+          reserved_list_.push_back(t);
+        }
+      }
+    }
+    // Soft tier mirroring the flat plane: partially-downloaded pieces
+    // are held back from fresh picks and released only as a fallback.
+    // strat-lint: allow(unordered-iter) -- commutative bitfield sets;
+    // the list orders only feed reset loops.
+    for (const auto& entry : partial_[q]) {
+      if (reserved_scratch_.test(entry.first)) continue;
+      reserved_scratch_.set(entry.first);
+      reserved_list_.push_back(entry.first);
+      reserved_partials_.push_back(entry.first);
+    }
+  }
+  const auto pick = picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng);
+  if (pick || reserved_partials_.empty()) return pick;
+  for (const PieceId t : reserved_partials_) reserved_scratch_.reset(t);
+  return picker_.pick_rarest(have_[q], have_[p], reserved_scratch_, rng);
+}
+
+double ReferenceSwarm::partial_progress(core::PeerId q, PieceId piece) const {
+  const auto it = partial_[q].find(piece);
+  return it == partial_[q].end() ? 0.0 : it->second;
 }
 
 void ReferenceSwarm::complete_piece(core::PeerId p, PieceId piece) {
@@ -270,7 +329,7 @@ void ReferenceSwarm::depart_peer(core::PeerId p, double when) {
   overlay_.isolate(p);
 }
 
-double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
+double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget, graph::Rng& rng) {
   double remaining = budget;
   while (remaining > 0.0) {
     PieceId target;
@@ -279,7 +338,7 @@ double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
         have_[p].test(locked->second)) {
       target = locked->second;
     } else {
-      const auto pick = pick_for(q, p);
+      const auto pick = pick_for(q, p, rng);
       if (!pick) break;
       target = *pick;
       inflight_[q][p] = target;
@@ -302,24 +361,157 @@ double ReferenceSwarm::send_to(core::PeerId p, core::PeerId q, double budget) {
   return budget - remaining;
 }
 
+void ReferenceSwarm::plan_transfers(core::PeerId p) {
+  if (departed_[p]) return;
+  hungry_scratch_.clear();
+  for (core::PeerId q : unchoked_[p]) {
+    if (departed_[q]) continue;
+    if (wants_from(q, p)) hungry_scratch_.push_back(q);
+  }
+  if (hungry_scratch_.empty()) return;
+  const std::size_t lane_count = hungry_scratch_.size();
+  if (lanes_.size() < lane_count) lanes_.resize(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    const core::PeerId q = hungry_scratch_[i];
+    const auto locked = inflight_[q].find(p);
+    const PieceId snapshot_target = locked == inflight_[q].end() ? kNoPiece : locked->second;
+    // This plane has no edge slots; the lane is keyed by receiver id.
+    lanes_[i].reset(q, q, 0, 0, snapshot_target);
+    lanes_[i].ordinal = static_cast<std::uint32_t>(i);
+  }
+  const std::uint32_t grants_begin = static_cast<std::uint32_t>(grants_.size());
+  graph::Rng stream = transfer_stream(p);
+  const double budget = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
+  detail::redistribute_upload(
+      budget, hungry_scratch_, next_hungry_scratch_, [&](core::PeerId q, double share) {
+        detail::TransferLane* lane = nullptr;
+        for (std::size_t i = 0; i < lane_count; ++i) {
+          if (lanes_[i].receiver == q) {
+            lane = &lanes_[i];
+            break;
+          }
+        }
+        return detail::plan_lane_send(
+            config_.piece_kb, *lane, grants_, share,
+            [&](PieceId t) { return have_[p].test(t); },
+            [&](PieceId t) { return have_[q].test(t); },
+            [&](PieceId t) { return partial_progress(q, t); },
+            [&](const detail::TransferLane& l) { return plan_pick(l, q, p, stream); });
+      });
+  if (grants_.size() > grants_begin) {
+    plans_.push_back({p, grants_begin, static_cast<std::uint32_t>(grants_.size()),
+                      static_cast<std::uint32_t>(lane_count)});
+  }
+}
+
+void ReferenceSwarm::commit_transfers() {
+  // Per-lane validation and repair, exactly like the flat plane's
+  // commit: group each plan's grants by receiver, discard a lane whose
+  // receiver departed / piece completed / progress moved, apply the
+  // valid lanes' grants verbatim in planned order, then re-drive each
+  // stale lane's planned KB live from the per-sender repair stream.
+  struct CommitLane {
+    core::PeerId receiver = 0;
+    double kb = 0.0;
+    bool stale = false;
+  };
+  std::vector<CommitLane> lanes;
+  for (const detail::SenderPlan& plan : plans_) {
+    if (departed_[plan.sender]) continue;
+    const core::PeerId p = plan.sender;
+    lanes.clear();
+    for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
+      const detail::TransferGrant& grant = grants_[g];
+      CommitLane* lane = nullptr;
+      for (CommitLane& l : lanes) {
+        if (l.receiver == grant.receiver) {
+          lane = &l;
+          break;
+        }
+      }
+      if (lane == nullptr) {
+        lanes.push_back({grant.receiver, 0.0, false});
+        lane = &lanes.back();
+      }
+      lane->kb += grant.kb;
+      if (lane->stale) continue;
+      lane->stale = departed_[grant.receiver] || have_[grant.receiver].test(grant.piece) ||
+                    partial_progress(grant.receiver, grant.piece) != grant.base_kb;
+    }
+    for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
+      const detail::TransferGrant& grant = grants_[g];
+      const core::PeerId q = grant.receiver;
+      bool lane_stale = false;
+      for (const CommitLane& l : lanes) {
+        if (l.receiver == q) {
+          lane_stale = l.stale;
+          break;
+        }
+      }
+      if (lane_stale) continue;
+      // An earlier grant in this plan can complete and depart q; later
+      // grants to it are void (same rule as the flat plane's commit).
+      if (departed_[q]) continue;
+      stats_[p].uploaded_kb += grant.kb;
+      stats_[q].downloaded_kb += grant.kb;
+      received_now_[q][p] += grant.kb;
+      sent_now_[p][q] += grant.kb;
+      if (grant.completes) {
+        partial_[q].erase(grant.piece);
+        inflight_[q].erase(p);
+        complete_piece(q, grant.piece);
+      } else {
+        partial_[q][grant.piece] = grant.final_kb;
+        inflight_[q][p] = grant.piece;
+      }
+    }
+    // Re-drive each stale lane's planned KB against live state on the
+    // per-sender repair stream: directly at its own receiver first,
+    // then any budget the lane could not absorb (receiver complete or
+    // departed) as a redistribution round over the live still-hungry
+    // receivers (same repair rule as the flat plane's commit: early
+    // completions strand no budget).
+    bool any_stale = false;
+    for (const CommitLane& lane : lanes) {
+      if (lane.stale) {
+        any_stale = true;
+        break;
+      }
+    }
+    if (any_stale) {
+      graph::Rng repairs = rerun_stream(p);
+      double leftover = 0.0;
+      for (const CommitLane& lane : lanes) {
+        if (!lane.stale) continue;
+        leftover += lane.kb - send_to(p, lane.receiver, lane.kb, repairs);
+      }
+      if (leftover > kBudgetEpsilon) {
+        hungry_scratch_.clear();
+        for (core::PeerId q : unchoked_[p]) {
+          if (departed_[q]) continue;
+          if (wants_from(q, p)) hungry_scratch_.push_back(q);
+        }
+        if (!hungry_scratch_.empty()) {
+          detail::redistribute_upload(
+              leftover, hungry_scratch_, next_hungry_scratch_,
+              [&](core::PeerId q, double share) { return send_to(p, q, share, repairs); });
+        }
+      }
+    }
+  }
+}
+
 void ReferenceSwarm::transfer_step() {
   // Sender-order snapshot by external id in table-row order, exactly
-  // like the flat plane: completion departures compact the table
-  // mid-phase, and a departed sender is skipped on its turn.
+  // like the flat plane. The planning pass never mutates shared state
+  // (the flat plane runs it across worker chunks); the commit pass
+  // replays plans in the same sender order and re-runs conflicted
+  // senders serially.
   order_scratch_.assign(table_.ids().begin(), table_.ids().end());
-  std::vector<core::PeerId> hungry;
-  std::vector<core::PeerId> next_hungry;
-  for (const core::PeerId p : order_scratch_) {
-    if (departed_[p]) continue;
-    hungry.clear();
-    for (core::PeerId q : unchoked_[p]) {
-      if (wants_from(q, p)) hungry.push_back(q);
-    }
-    if (hungry.empty()) continue;
-    const double budget = stats_[p].upload_kbps / 8.0 * config_.round_seconds;
-    detail::redistribute_upload(budget, hungry, next_hungry,
-                                [&](core::PeerId q, double share) { return send_to(p, q, share); });
-  }
+  grants_.clear();
+  plans_.clear();
+  for (const core::PeerId p : order_scratch_) plan_transfers(p);
+  commit_transfers();
 }
 
 void ReferenceSwarm::run_round() {

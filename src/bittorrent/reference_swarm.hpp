@@ -14,11 +14,13 @@
 //
 // Keep the two implementations' per-round operation and RNG-consumption
 // order in lockstep; any intentional behavior change must land in both.
-// Choke randomness is drawn from the same per-peer counter-based
-// streams (Rng::stream keyed by run key / external id / round) as the
-// flat plane, so this serial oracle stays bitwise equal to Swarm at
-// *any* SwarmConfig::threads value — the plane accepts the threads
-// knob but always runs single-threaded.
+// Choke and transfer randomness is drawn from the same per-peer
+// counter-based streams (Rng::stream keyed by run key / external id /
+// round) as the flat plane, and the transfer phase runs the same
+// two-stage plan-against-snapshot / commit-in-sender-order algorithm
+// (serially), so this oracle stays bitwise equal to Swarm at *any*
+// SwarmConfig::threads value — the plane accepts the threads knob but
+// always runs single-threaded.
 // Overlay mutations here go through graph::Graph (grow/add_edge/
 // isolate + finalize), whose sorted adjacency matches the flat plane's
 // sorted rows, so choke candidate order — and therefore every RNG
@@ -80,8 +82,29 @@ class ReferenceSwarm {
   void choke_step();
   void count_incoming_unchokes();
   void transfer_step();
-  double send_to(core::PeerId p, core::PeerId q, double budget);
-  [[nodiscard]] std::optional<PieceId> pick_for(core::PeerId q, core::PeerId p);
+  /// Two-stage transfer, mirroring Swarm: plan against the phase-start
+  /// snapshot into grants_/plans_, then replay in sender order,
+  /// validating per (sender, receiver) lane and re-driving stale lanes
+  /// live. Run single-threaded here — the point is that the *algorithm*
+  /// (snapshot reads, RNG stream per sender, lane validation, repair
+  /// rule) is identical, so the parallel flat plane has a serial oracle
+  /// for the exact same semantics.
+  void plan_transfers(core::PeerId p);
+  [[nodiscard]] std::optional<PieceId> plan_pick(const detail::TransferLane& lane, core::PeerId q,
+                                                core::PeerId p, graph::Rng& rng);
+  void commit_transfers();
+  double send_to(core::PeerId p, core::PeerId q, double budget, graph::Rng& rng);
+  [[nodiscard]] std::optional<PieceId> pick_for(core::PeerId q, core::PeerId p, graph::Rng& rng);
+  /// Same per-sender transfer stream as the flat plane: keyed off the run
+  /// key, the sender's external id, and the round.
+  [[nodiscard]] graph::Rng transfer_stream(core::PeerId p) const {
+    return graph::Rng::stream(choke_key_ ^ kTransferStreamSalt, p, round_);
+  }
+  /// Same per-sender lane-repair stream as the flat plane.
+  [[nodiscard]] graph::Rng rerun_stream(core::PeerId p) const {
+    return graph::Rng::stream(choke_key_ ^ kTransferRerunSalt, p, round_);
+  }
+  [[nodiscard]] double partial_progress(core::PeerId q, PieceId piece) const;
   void complete_piece(core::PeerId p, PieceId piece);
   void depart_peer(core::PeerId p, double when);
   [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
@@ -109,6 +132,7 @@ class ReferenceSwarm {
   std::vector<std::uint32_t> incoming_unchokes_;
   Bitfield reserved_scratch_;
   std::vector<PieceId> reserved_list_;
+  std::vector<PieceId> reserved_partials_;
   // Lazily rebuilt on read, like the flat plane (derived state — no
   // RNG involved, so laziness cannot break lockstep).
   mutable std::vector<std::size_t> bandwidth_rank_;
@@ -123,6 +147,13 @@ class ReferenceSwarm {
   PeerTable table_;
   // Sender-order snapshot for transfer_step (mirrors Swarm's).
   std::vector<core::PeerId> order_scratch_;
+  // Two-stage transfer scratch (mirrors Swarm's per-chunk TransferScratch;
+  // one set suffices since this plane plans serially).
+  std::vector<core::PeerId> hungry_scratch_;
+  std::vector<core::PeerId> next_hungry_scratch_;
+  std::vector<detail::TransferLane> lanes_;
+  std::vector<detail::TransferGrant> grants_;
+  std::vector<detail::SenderPlan> plans_;
   std::size_t round_ = 0;
   std::size_t leechers_ = 0;  // leechers ever (initial + arrivals)
   std::size_t arrivals_ = 0;

@@ -399,7 +399,7 @@ void Swarm::record_mutual_unchokes() {
   }
 }
 
-std::optional<PieceId> Swarm::pick_for(Row qr, Row pr, std::size_t slot_qp) {
+std::optional<PieceId> Swarm::pick_for(Row qr, Row pr, std::size_t slot_qp, graph::Rng& rng) {
   if (config_.endgame) {
     const std::size_t missing = config_.num_pieces - stats_[qr].pieces;
     if (missing >= incoming_unchokes_[qr]) {
@@ -416,13 +416,88 @@ std::optional<PieceId> Swarm::pick_for(Row qr, Row pr, std::size_t slot_qp) {
           reserved_list_.push_back(t);
         }
       }
-      return picker_.pick_rarest(have_[qr], have_[pr], reserved_scratch_, rng_);
+      return picker_.pick_rarest(have_[qr], have_[pr], reserved_scratch_, rng);
     }
     // Endgame phase: the missing set is smaller than the receiver's
     // inbound unchoke count — duplicate in-flight targets are allowed
     // (first completion cancels the rest via the staleness re-pick).
   }
-  return picker_.pick_rarest(have_[qr], have_[pr], rng_);
+  return picker_.pick_rarest(have_[qr], have_[pr], rng);
+}
+
+std::optional<PieceId> Swarm::plan_pick(const detail::TransferLane& lane, Row qr, Row pr,
+                                        graph::Rng& rng, TransferScratch& scratch) {
+  bool endgame_dup = false;
+  if (config_.endgame) {
+    // Endgame discipline against the *local* view: the receiver's
+    // snapshot piece count plus what this lane completed for it.
+    const std::size_t missing =
+        config_.num_pieces - (stats_[qr].pieces + lane.completed.size());
+    endgame_dup = missing < incoming_unchokes_[qr];
+  }
+  if (endgame_dup && lane.completed.empty()) {
+    // Endgame phase: duplicate in-flight targets are allowed and there
+    // is no lane-local state to hold back — pick over the raw bitfields.
+    return picker_.pick_rarest(have_[qr], have_[pr], rng);
+  }
+  if (scratch.reserved.size() != config_.num_pieces) {
+    scratch.reserved = Bitfield(config_.num_pieces);
+  }
+  for (const PieceId piece : scratch.reserved_list) scratch.reserved.reset(piece);
+  scratch.reserved_list.clear();
+  scratch.reserved_partials.clear();
+  // Locally completed pieces are held in the plan's view even though
+  // the snapshot bitfield doesn't know yet. Reserved FIRST so the
+  // partial scan below can't classify them into the releasable soft
+  // tier (a lane-completed piece usually still has snapshot partial
+  // progress) — releasing one would let the lane re-complete it.
+  for (const PieceId t : lane.completed) {
+    if (scratch.reserved.test(t)) continue;
+    scratch.reserved.set(t);
+    scratch.reserved_list.push_back(t);
+  }
+  if (!endgame_dup) {
+    if (config_.endgame) {
+      // Non-endgame phase of an endgame run: each sender gets a distinct
+      // missing piece — hard-exclude pieces already in flight to q from
+      // other neighbors. Reservations come from the phase-start
+      // in-flight snapshot (the compute stage never mutates it), not the
+      // live mid-phase state the serial algorithm used to see.
+      for (const std::size_t s : nslot_[qr]) {
+        if (s == lane.slot_qp) continue;
+        const PieceId t = inflight_[s];
+        if (t != kNoPiece && !have_[qr].test(t)) {
+          scratch.reserved.set(t);
+          scratch.reserved_list.push_back(t);
+        }
+      }
+    }
+    // Soft-demote every piece the receiver already has partial progress
+    // on: some lane is (or recently was) feeding it, so a speculative
+    // fresh pick landing there is nearly guaranteed stale at commit.
+    // Unlike the in-flight tier this one is released below if no other
+    // candidate exists, so orphaned partials still get adopted.
+    for (const auto& entry : partial_[qr]) {
+      if (scratch.reserved.test(entry.first)) continue;
+      scratch.reserved.set(entry.first);
+      scratch.reserved_list.push_back(entry.first);
+      scratch.reserved_partials.push_back(entry.first);
+    }
+  }
+  const auto pick = picker_.pick_rarest(have_[qr], have_[pr], scratch.reserved, rng);
+  if (pick || scratch.reserved_partials.empty()) return pick;
+  // Fallback tier: everything else is reserved or held — let the
+  // partially-downloaded pieces back in. The bits stay in
+  // reserved_list, so the next call's reset loop remains correct.
+  for (const PieceId t : scratch.reserved_partials) scratch.reserved.reset(t);
+  return picker_.pick_rarest(have_[qr], have_[pr], scratch.reserved, rng);
+}
+
+double Swarm::partial_progress(Row qr, PieceId piece) const {
+  for (const auto& entry : partial_[qr]) {
+    if (entry.first == piece) return entry.second;
+  }
+  return 0.0;
 }
 
 void Swarm::complete_piece(core::PeerId q, Row qr, PieceId piece) {
@@ -486,7 +561,8 @@ void Swarm::depart_peer(core::PeerId p, double when) {
   }
 }
 
-double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget) {
+double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget,
+                      graph::Rng& rng) {
   double remaining = budget;
   // Apply bytes to pieces until the budget is spent or q stops wanting
   // anything p has. Rows are re-resolved every pass: a completion can
@@ -498,7 +574,7 @@ double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, doubl
     const std::size_t slot_qp = mirror_[slot_pq];  // receiver-owned slot
     PieceId target = inflight_[slot_qp];
     if (target == kNoPiece || have_[qr].test(target) || !have_[pr].test(target)) {
-      const auto pick = pick_for(qr, pr, slot_qp);
+      const auto pick = pick_for(qr, pr, slot_qp, rng);
       if (!pick) break;
       target = *pick;
       inflight_[slot_qp] = target;
@@ -527,35 +603,212 @@ double Swarm::send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, doubl
   return budget - remaining;
 }
 
-void Swarm::transfer_step() {
-  // Sender order snapshot by external id: completion departures compact
-  // rows mid-phase, so iterating rows directly would skip or repeat
-  // peers. A sender that departed mid-round resolves to no row and is
-  // skipped (its unchoke set was cleared anyway).
-  order_scratch_.assign(table_.ids().begin(), table_.ids().end());
+void Swarm::plan_transfers(core::PeerId p, TransferScratch& scratch) {
+  const Row pr = table_.row_of(p);
+  if (pr == PeerTable::kNoRow) return;
+  // Active transfers: unchoked neighbors that actually want data.
   // (receiver, sender-side slot): the slot is loop-invariant per pair,
   // so resolve it once instead of per redistribution pass.
-  std::vector<std::pair<core::PeerId, std::size_t>> hungry;
-  std::vector<std::pair<core::PeerId, std::size_t>> next_hungry;
-  for (const core::PeerId p : order_scratch_) {
-    const Row pr = table_.row_of(p);
-    if (pr == PeerTable::kNoRow) continue;
-    // Active transfers: unchoked neighbors that actually want data.
-    hungry.clear();
-    for (core::PeerId q : unchoked_[pr]) {
-      const Row qr = table_.row_of(q);
-      if (qr == PeerTable::kNoRow) continue;  // completed and departed this round
-      if (wants_from(qr, pr)) hungry.emplace_back(q, slot_of(pr, q));
-    }
-    if (hungry.empty()) continue;
-    // kbps -> KB per round.
-    const double budget = stats_[pr].upload_kbps / 8.0 * config_.round_seconds;
-    detail::redistribute_upload(budget, hungry, next_hungry,
-                                [&](const std::pair<core::PeerId, std::size_t>& item,
-                                    double share) {
-                                  return send_to(p, item.first, item.second, share);
-                                });
+  scratch.hungry.clear();
+  for (core::PeerId q : unchoked_[pr]) {
+    const Row qr = table_.row_of(q);
+    if (qr == PeerTable::kNoRow) continue;  // departed before this phase
+    if (wants_from(qr, pr)) scratch.hungry.emplace_back(q, slot_of(pr, q));
   }
+  if (scratch.hungry.empty()) return;
+  // One lane per receiver: the lane carries the plan-local view of the
+  // in-flight target and partial progress so repeated redistribution
+  // passes against the same receiver resume where the last one stopped
+  // instead of re-reading the (immutable) snapshot.
+  const std::size_t lane_count = scratch.hungry.size();
+  if (scratch.lanes.size() < lane_count) scratch.lanes.resize(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    const auto [q, slot_pq] = scratch.hungry[i];
+    const std::size_t slot_qp = mirror_[slot_pq];
+    scratch.lanes[i].reset(q, table_.row_of(q), slot_pq, slot_qp, inflight_[slot_qp]);
+    scratch.lanes[i].ordinal = static_cast<std::uint32_t>(i);
+    // Repoint the hungry item at its lane: redistribute_upload swaps
+    // survivors between its two vectors but never invents items, so
+    // the index stays valid for the whole plan.
+    scratch.hungry[i].second = i;
+  }
+  const std::uint32_t grants_begin = static_cast<std::uint32_t>(scratch.grants.size());
+  graph::Rng stream = transfer_stream(p);
+  // kbps -> KB per round.
+  const double budget = stats_[pr].upload_kbps / 8.0 * config_.round_seconds;
+  detail::redistribute_upload(
+      budget, scratch.hungry, scratch.next_hungry,
+      [&](const std::pair<core::PeerId, std::size_t>& item, double share) {
+        detail::TransferLane* lane = &scratch.lanes[item.second];
+        const Row qr = static_cast<Row>(lane->row);
+        return detail::plan_lane_send(
+            config_.piece_kb, *lane, scratch.grants, share,
+            [&](PieceId t) { return have_[pr].test(t); },
+            [&](PieceId t) { return have_[qr].test(t); },
+            [&](PieceId t) { return partial_progress(qr, t); },
+            [&](const detail::TransferLane& l) { return plan_pick(l, qr, pr, stream, scratch); });
+      });
+  if (scratch.grants.size() > grants_begin) {
+    scratch.plans.push_back({p, grants_begin, static_cast<std::uint32_t>(scratch.grants.size()),
+                             static_cast<std::uint32_t>(lane_count)});
+  }
+}
+
+void Swarm::commit_transfers(std::size_t chunks) {
+  // Chunk-major replay: chunks partition the sender order contiguously
+  // and ascending, so walking chunk 0's plans, then chunk 1's, ... is
+  // exactly the serial sender order regardless of thread count.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (const detail::SenderPlan& plan : transfer_scratch_[c].plans) {
+      const std::vector<detail::TransferGrant>& grants = transfer_scratch_[c].grants;
+      if (table_.row_of(plan.sender) == PeerTable::kNoRow) continue;  // departed mid-commit
+      // Group the plan's grants by lane (receiver) and validate each
+      // lane against live state: a grant is stale if its receiver
+      // departed, already holds the piece (an earlier commit completed
+      // it first), or the piece's partial progress moved since the
+      // snapshot (another sender fed it). Staleness discards the
+      // *lane*, not the whole plan — lanes are independent receivers,
+      // and rarest-first makes same-receiver pick collisions common
+      // enough that plan-level invalidation would re-run a majority of
+      // senders.
+      commit_lanes_.assign(plan.lane_count, CommitLane{});
+      std::size_t used_lanes = 0;
+      std::size_t stale_lanes = 0;
+      for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
+        const detail::TransferGrant& grant = grants[g];
+        CommitLane& lane = commit_lanes_[grant.lane];
+        if (!lane.used) {
+          lane.used = true;
+          ++used_lanes;
+          lane.receiver = grant.receiver;
+          lane.slot_pq = grant.slot_pq;
+          lane.row = table_.row_of(grant.receiver);  // rows cannot move during grouping
+        }
+        lane.kb += grant.kb;
+        if (lane.stale) continue;
+        const Row qr = lane.row;
+        if (qr == PeerTable::kNoRow || have_[qr].test(grant.piece) ||
+            partial_progress(qr, grant.piece) != grant.base_kb) {
+          lane.stale = true;
+          ++stale_lanes;
+        }
+      }
+      profile_.transfer_lanes += used_lanes;
+      // Apply the valid lanes' grants verbatim, in planned order.
+      Row pr = table_.row_of(plan.sender);
+      bool moved = false;  // a completion departure compacted rows mid-plan
+      for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
+        const detail::TransferGrant& grant = grants[g];
+        const CommitLane* lane = &commit_lanes_[grant.lane];
+        if (lane->stale) continue;
+        Row qr = lane->row;
+        if (moved) {
+          // An earlier grant in this very plan completed a receiver and
+          // departed it (slots released and zeroed), compacting rows:
+          // the cached lane rows — and the sender's own row — are void,
+          // and this grant's receiver may itself be gone. Validation
+          // can't see this; it only proves the receiver was live at
+          // plan granularity.
+          qr = table_.row_of(grant.receiver);
+          if (qr == PeerTable::kNoRow) continue;
+          pr = table_.row_of(plan.sender);
+        }
+        stats_[pr].uploaded_kb += grant.kb;
+        stats_[qr].downloaded_kb += grant.kb;
+        now_in_[grant.slot_qp] += grant.kb;
+        now_out_[grant.slot_pq] += grant.kb;
+        auto& partial = partial_[qr];
+        auto it = std::find_if(partial.begin(), partial.end(),
+                               [&](const auto& entry) { return entry.first == grant.piece; });
+        if (grant.completes) {
+          if (it != partial.end()) partial.erase(it);
+          inflight_[grant.slot_qp] = kNoPiece;
+          complete_piece(grant.receiver, qr, grant.piece);
+          moved = true;
+        } else {
+          // Committed verbatim (assignment, not +=): the plan accumulated
+          // final_kb add-by-add in the serial order, so the stored double
+          // is bit-identical to what the serial algorithm would hold.
+          if (it != partial.end()) {
+            it->second = grant.final_kb;
+          } else {
+            partial.emplace_back(grant.piece, grant.final_kb);
+          }
+          inflight_[grant.slot_qp] = grant.piece;
+        }
+      }
+      // Re-drive each stale lane's planned KB against live state on the
+      // per-sender repair stream: directly at its own receiver first —
+      // usually still live and hungry, so the common repair is one
+      // cheap single-lane re-plan. Budget a lane can no longer absorb
+      // (receiver complete or departed) falls back to a redistribution
+      // round over the sender's live still-hungry receivers, keeping
+      // the serial-era contract that an early completion strands no
+      // budget while a sibling still starves.
+      if (stale_lanes > 0) {
+        const auto r0 = std::chrono::steady_clock::now();
+        profile_.transfer_reruns += stale_lanes;
+        graph::Rng repairs = rerun_stream(plan.sender);
+        double leftover = 0.0;
+        for (const CommitLane& lane : commit_lanes_) {
+          if (!lane.stale) continue;
+          leftover +=
+              lane.kb - send_to(plan.sender, lane.receiver, lane.slot_pq, lane.kb, repairs);
+        }
+        if (leftover > kBudgetEpsilon) {
+          const Row rpr = table_.row_of(plan.sender);
+          hungry_scratch_.clear();
+          for (core::PeerId q : unchoked_[rpr]) {
+            const Row qr = table_.row_of(q);
+            if (qr == PeerTable::kNoRow) continue;  // completed and departed
+            if (wants_from(qr, rpr)) hungry_scratch_.emplace_back(q, slot_of(rpr, q));
+          }
+          if (!hungry_scratch_.empty()) {
+            detail::redistribute_upload(leftover, hungry_scratch_, next_hungry_scratch_,
+                                        [&](const std::pair<core::PeerId, std::size_t>& item,
+                                            double share) {
+                                          return send_to(plan.sender, item.first, item.second,
+                                                         share, repairs);
+                                        });
+          }
+        }
+        profile_.transfer_rerun_seconds += seconds_since(r0, std::chrono::steady_clock::now());
+      }
+    }
+  }
+}
+
+void Swarm::transfer_step() {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Sender order snapshot by external id: completion departures compact
+  // rows at commit time, so iterating rows directly would skip or
+  // repeat peers. A sender that departed mid-round resolves to no row
+  // and is skipped (its unchoke set was cleared anyway).
+  order_scratch_.assign(table_.ids().begin(), table_.ids().end());
+  const std::size_t n = order_scratch_.size();
+  const std::size_t threads = fan_out();
+  const std::size_t chunks = sim::chunk_count(n, threads, kRowGrain);
+  if (transfer_scratch_.size() < chunks) transfer_scratch_.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    transfer_scratch_[c].grants.clear();
+    transfer_scratch_[c].plans.clear();
+  }
+  // Compute stage: every sender plans against the immutable phase-start
+  // snapshot, writing only into its chunk's buffers. No shared state is
+  // mutated, so chunks are free to run concurrently; the commit stage
+  // below replays the plans in serial sender order.
+  sim::parallel_for_chunks(n, threads, kRowGrain,
+                           [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                             TransferScratch& scratch = transfer_scratch_[chunk];
+                             for (std::size_t i = begin; i < end; ++i) {
+                               plan_transfers(order_scratch_[i], scratch);
+                             }
+                           });
+  const auto t1 = std::chrono::steady_clock::now();
+  commit_transfers(chunks);
+  const auto t2 = std::chrono::steady_clock::now();
+  profile_.transfer_compute_seconds += seconds_since(t0, t1);
+  profile_.transfer_commit_seconds += seconds_since(t1, t2);
 }
 
 void Swarm::fold_rates() {
@@ -814,7 +1067,18 @@ Swarm::MemoryFootprint Swarm::memory_footprint() const {
   out.peer_state_bytes = table_.row_bytes() + flat(stats_) + flat(chokers_) +
                          nested(unchoked_) + nested(nbr_) + nested(nslot_) + nested(partial_) +
                          flat(incoming_unchokes_) + flat(order_scratch_) +
-                         nested(choke_scratch_) + nested(incoming_scratch_);
+                         nested(choke_scratch_) + nested(incoming_scratch_) +
+                         flat(commit_lanes_) + flat(transfer_scratch_) +
+                         flat(hungry_scratch_) + flat(next_hungry_scratch_);
+  for (const TransferScratch& s : transfer_scratch_) {
+    out.peer_state_bytes += flat(s.hungry) + flat(s.next_hungry) + flat(s.lanes) +
+                            flat(s.grants) + flat(s.plans) +
+                            s.reserved.words().size() * sizeof(std::uint64_t) +
+                            flat(s.reserved_list) + flat(s.reserved_partials);
+    for (const detail::TransferLane& lane : s.lanes) {
+      out.peer_state_bytes += flat(lane.completed);
+    }
+  }
   for (const Bitfield& b : have_) {
     out.peer_state_bytes += sizeof(Bitfield) + b.words().size() * sizeof(std::uint64_t);
   }

@@ -52,28 +52,36 @@
 //
 // Determinism model (two RNG tiers):
 //
-//  - *Per-peer choke streams.* Every choke-phase draw (tie-break
-//    shuffle, optimistic pick) comes from a counter-based generator
-//    keyed by (run key, external peer id, round) — Rng::stream — so a
-//    peer's choke randomness is a pure function of who it is and which
-//    round it is, independent of row iteration order and thread count.
-//    The run key is one draw from the structural stream at
-//    construction.
+//  - *Per-peer streams.* Every choke-phase draw (tie-break shuffle,
+//    optimistic pick) comes from a counter-based generator keyed by
+//    (run key, external peer id, round) — Rng::stream — so a peer's
+//    choke randomness is a pure function of who it is and which round
+//    it is, independent of row iteration order and thread count. The
+//    run key is one draw from the structural stream at construction.
+//    The transfer phase draws the same way: sender p's rarest-first
+//    tie-breaks come from Rng::stream(choke_key_ ^ kTransferStreamSalt,
+//    p, round), so the phase consumes no structural draws at all.
 //  - *Sequential structural stream.* Everything that mutates shared
 //    state in a defined order — overlay construction, tracker
-//    announces, rarest-first tie-breaks in the (serial) transfer
-//    phase, churn-driver and scenario sampling — keeps consuming the
-//    single `rng_` passed in, in program order.
+//    announces, churn-driver and scenario sampling — keeps consuming
+//    the single `rng_` passed in, in program order.
 //
 // That split is what lets SwarmConfig::threads fan the intra-round
 // phases out: choke score/select (per-row reads of an effectively
 // immutable rate/bitfield snapshot, per-row writes of the unchoke
 // sets), the endgame incoming-unchoke count (per-chunk tallies merged
 // by integer addition) and the rate fold (slot-pool map) run over
-// sim::parallel_for_chunks, while transfer_step — where mid-round
-// completion departures mutate shared state — stays serial. Results
-// are bitwise identical for any `threads` value and still bitwise
-// equal to the single-threaded ReferenceSwarm.
+// sim::parallel_for_chunks. The transfer phase — where mid-round
+// completion departures mutate shared state — splits into a parallel
+// *compute* stage (every sender plans its whole round against the
+// immutable phase-start snapshot, writing piece grants into per-chunk
+// plan buffers) and a serial *commit* stage that validates and applies
+// the plans in sender order, re-running a sender serially when an
+// earlier commit made its plan stale (receiver departed, piece
+// completed, or the assumed partial progress moved). Results are
+// bitwise identical for any `threads` value and still bitwise equal to
+// the single-threaded ReferenceSwarm, which runs the identical
+// two-stage algorithm serially.
 //
 // See reference_swarm.hpp for the retained map-based implementation:
 // both planes implement the same operations in strict FP + RNG
@@ -88,6 +96,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -186,6 +195,20 @@ struct StratificationReport {
 /// Sentinel "no piece in flight on this edge" value.
 inline constexpr PieceId kNoPiece = std::numeric_limits<PieceId>::max();
 
+/// Salt folded into the run key to derive the per-sender transfer
+/// streams: sender p's round-r transfer randomness is
+/// Rng::stream(choke_key ^ kTransferStreamSalt, p, r) in both data
+/// planes. Deriving from the existing key means the transfer phase
+/// costs no extra construction draw and stays independent of the choke
+/// streams (the stream mixer decorrelates any key pair).
+inline constexpr std::uint64_t kTransferStreamSalt = 0x7472616e73666572ull;  // "transfer"
+
+/// Salt for the per-sender *repair* streams the transfer commit uses
+/// when a planned lane went stale: a distinct stream (not a replay of
+/// the planning stream) so repair picks are uncorrelated with the very
+/// picks that conflicted.
+inline constexpr std::uint64_t kTransferRerunSalt = 0x7265706c616eull;  // "replan"
+
 /// Upload budget (KB) below which a round's redistribution loop stops.
 /// Shared by Swarm and ReferenceSwarm: both transfer loops must agree
 /// on which receivers count as satiated or the differential tests
@@ -216,6 +239,136 @@ void redistribute_upload(double budget, std::vector<Item>& hungry, std::vector<I
     }
     hungry.swap(next_hungry);
   }
+}
+
+/// One planned sender→receiver contribution from the transfer compute
+/// stage, recorded against the immutable phase-start snapshot.
+/// `base_kb` is the snapshot partial progress the plan assumed — the
+/// staleness witness the commit validates against live state (an exact
+/// double compare: contributions are strictly positive and completions
+/// clear the entry, so any interleaved writer moves it). `final_kb` is
+/// the progress after this sender's chunks, accumulated add-by-add in
+/// the same order the serial loop would have used, and committed
+/// verbatim so the stored double is bit-identical. `kb` is the total
+/// contribution (the stat / per-slot rate delta). The slot fields are
+/// the flat plane's; the reference plane leaves them zero.
+struct TransferGrant {
+  core::PeerId receiver = 0;
+  PieceId piece = 0;
+  std::uint32_t lane = 0;  // ordinal of the receiver's lane within the plan
+  double kb = 0.0;
+  double base_kb = 0.0;
+  double final_kb = 0.0;
+  std::size_t slot_pq = 0;  // sender-owned slot toward receiver (now_out_)
+  std::size_t slot_qp = 0;  // receiver-owned slot toward sender (now_in_, inflight_)
+  bool completes = false;
+};
+
+/// Half-open range of one sender's grants in a chunk's grant buffer,
+/// in planning order. Plans with zero grants are not recorded.
+/// `lane_count` bounds the grant lane ordinals, so the commit can
+/// index its per-lane table directly instead of searching by receiver.
+struct SenderPlan {
+  core::PeerId sender = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t lane_count = 0;
+};
+
+/// Per-receiver lane state while planning one sender's round: the
+/// current target piece (seeded from the snapshot in-flight state),
+/// its locally accumulated progress, the open grant, and the pieces
+/// this lane completed locally — excluded from later picks and have
+/// tests because the snapshot bitfields never change during compute.
+struct TransferLane {
+  core::PeerId receiver = 0;
+  std::size_t row = 0;       // plane-defined receiver index (flat: dense row)
+  std::size_t slot_pq = 0;   // flat plane only
+  std::size_t slot_qp = 0;   // flat plane only
+  std::uint32_t ordinal = 0;  // index of this lane within its sender's plan
+  PieceId target = kNoPiece;
+  double progress = -1.0;    // local KB of `target`; -1 = not yet based
+  std::int32_t grant = -1;   // open grant index; -1 = none
+  std::vector<PieceId> completed;
+
+  void reset(core::PeerId q, std::size_t row_ix, std::size_t spq, std::size_t sqp,
+             PieceId snapshot_target) {
+    receiver = q;
+    row = row_ix;
+    slot_pq = spq;
+    slot_qp = sqp;
+    target = snapshot_target;
+    progress = -1.0;
+    grant = -1;
+    completed.clear();
+  }
+  [[nodiscard]] bool has_completed(PieceId t) const {
+    return std::find(completed.begin(), completed.end(), t) != completed.end();
+  }
+};
+
+/// The send-to-one-receiver loop of the transfer compute stage — one
+/// definition shared by both data planes so the budget/satiation and
+/// piece-progress arithmetic cannot drift (the transfer analogue of
+/// redistribute_upload). Runs entirely against phase-start state: the
+/// plane supplies `sender_has`/`receiver_has` (snapshot bitfield
+/// tests), `snapshot_progress` (snapshot partial KB of a piece) and
+/// `pick` (rarest-first from the sender's own counter stream,
+/// excluding the lane's local completions). Grants append to `grants`;
+/// a piece reaching piece_kb is recorded on the lane so later picks
+/// and target checks for this receiver treat it as held. Returns the
+/// KB spent of `share`.
+template <typename SenderHasFn, typename ReceiverHasFn, typename ProgressFn, typename PickFn>
+double plan_lane_send(double piece_kb, TransferLane& lane, std::vector<TransferGrant>& grants,
+                      double share, SenderHasFn&& sender_has, ReceiverHasFn&& receiver_has,
+                      ProgressFn&& snapshot_progress, PickFn&& pick) {
+  double remaining = share;
+  while (remaining > 0.0) {
+    PieceId target = lane.target;
+    const bool usable = target != kNoPiece && !receiver_has(target) &&
+                        !lane.has_completed(target) && sender_has(target);
+    if (!usable) {
+      const std::optional<PieceId> picked = pick(lane);
+      if (!picked) break;
+      target = *picked;
+      lane.target = target;
+      lane.progress = snapshot_progress(target);
+      lane.grant = -1;
+    } else if (lane.progress < 0.0) {
+      // First touch of the carried-over in-flight target: base it on
+      // the snapshot partial progress (never >= the completion
+      // threshold — the serial loop completes pieces the instant they
+      // cross it, so stored partials sit strictly below).
+      lane.progress = snapshot_progress(target);
+    }
+    if (lane.grant < 0) {
+      lane.grant = static_cast<std::int32_t>(grants.size());
+      TransferGrant g;
+      g.receiver = lane.receiver;
+      g.piece = target;
+      g.lane = lane.ordinal;
+      g.base_kb = lane.progress;
+      g.final_kb = lane.progress;
+      g.slot_pq = lane.slot_pq;
+      g.slot_qp = lane.slot_qp;
+      grants.push_back(g);
+    }
+    TransferGrant& g = grants[static_cast<std::size_t>(lane.grant)];
+    const double need = piece_kb - lane.progress;
+    const double chunk = std::min(need, remaining);
+    lane.progress += chunk;
+    remaining -= chunk;
+    g.kb += chunk;
+    g.final_kb = lane.progress;
+    if (lane.progress >= piece_kb - 1e-9) {
+      g.completes = true;
+      lane.completed.push_back(target);
+      lane.target = kNoPiece;
+      lane.progress = -1.0;
+      lane.grant = -1;
+    }
+  }
+  return share - remaining;
 }
 
 /// Draws up to `k` entries uniformly without replacement from
@@ -519,15 +672,28 @@ class Swarm {
 
   /// Cumulative wall-clock seconds per run_round() phase since
   /// construction. The thread-scaling acceptance bar reads the
-  /// parallel portion (choke + fold) from here, so speedups are
-  /// measured per phase instead of inferred from whole-round times
-  /// that the serial transfer phase dilutes.
+  /// parallel portion (choke + transfer compute + fold) from here, so
+  /// speedups are measured per phase instead of inferred from
+  /// whole-round times that the serial commit stage dilutes.
   struct PhaseProfile {
     double choke_seconds = 0.0;     // parallel: score/select fan-out
     double endgame_seconds = 0.0;   // parallel: incoming-unchoke count
     double mutual_seconds = 0.0;    // serial: mutual-unchoke recording
-    double transfer_seconds = 0.0;  // serial: upload redistribution
+    double transfer_seconds = 0.0;  // whole transfer phase (compute + commit)
     double fold_seconds = 0.0;      // parallel: rate smoothing fold
+    // Transfer-phase breakdown — sub-timings *inside* transfer_seconds,
+    // not additional phases (the five fields above partition the round).
+    double transfer_compute_seconds = 0.0;  // parallel: sender plan fan-out
+    double transfer_commit_seconds = 0.0;   // serial: validate + apply (repairs included)
+    double transfer_rerun_seconds = 0.0;    // serial: stale-lane repairs only
+    std::uint64_t transfer_lanes = 0;       // (sender, receiver) lanes carrying >= 1 grant
+    std::uint64_t transfer_reruns = 0;      // lanes discarded as stale and re-driven live
+    /// Share of planned lanes the commit had to discard and re-drive
+    /// serially — the conflict cost of the speculative compute stage.
+    [[nodiscard]] double rerun_fraction() const noexcept {
+      if (transfer_lanes == 0) return 0.0;
+      return static_cast<double>(transfer_reruns) / static_cast<double>(transfer_lanes);
+    }
   };
   /// Read-only view of the accumulated per-phase timings. Profiling
   /// output only — the values never feed back into simulation state,
@@ -557,6 +723,8 @@ class Swarm {
   /// snapshot would cost more than the serialization itself).
   [[nodiscard]] std::size_t snapshot_byte_bound() const;
 
+  struct TransferScratch;
+
   void choke_step();
   /// Score/select for one row, drawing from the row's per-peer stream;
   /// `candidates` is the calling worker's scratch.
@@ -567,14 +735,53 @@ class Swarm {
   void count_incoming_unchokes();
   void transfer_step();
   void fold_rates();
-  /// Sends up to `budget` KB from p to q; returns the KB actually
-  /// transferred (less than `budget` when q runs out of pickable
-  /// pieces, or q completed and departed mid-round).
-  double send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget);
+  /// Compute stage: plans sender p's whole round against the immutable
+  /// phase-start snapshot (read-only on shared state), appending grants
+  /// and the sender plan to the calling worker's `scratch`.
+  void plan_transfers(core::PeerId p, TransferScratch& scratch);
+  /// Rarest-first pick for the compute stage: endgame reservations come
+  /// from the phase-start in-flight snapshot and the lane's local
+  /// completions are always excluded (via the chunk-private bitfield).
+  [[nodiscard]] std::optional<PieceId> plan_pick(const detail::TransferLane& lane, Row qr,
+                                                Row pr, graph::Rng& rng,
+                                                TransferScratch& scratch);
+  /// Commit stage: replays every plan in sender order, validating each
+  /// (sender, receiver) lane's grant chain against live state. Valid
+  /// lanes apply verbatim; a stale lane (receiver departed, piece
+  /// completed by an earlier commit, or partial progress moved since
+  /// the snapshot) is discarded whole and its planned KB re-driven
+  /// against live state — redistributed across the sender's live
+  /// still-hungry receivers (redistribute_upload over send_to), so a
+  /// receiver that completed early strands no budget while a sibling
+  /// still starves. Lane granularity matters:
+  /// rarest-first concentrates fresh picks onto the same small
+  /// minimum-availability tie set, so same-receiver pick collisions are
+  /// structural — invalidating whole sender plans would amplify a few
+  /// percent of stale grants into a majority of plans re-run.
+  void commit_transfers(std::size_t chunks);
+  /// The per-sender transfer stream (see kTransferStreamSalt).
+  [[nodiscard]] graph::Rng transfer_stream(core::PeerId p) const {
+    return graph::Rng::stream(choke_key_ ^ kTransferStreamSalt, p, round_);
+  }
+  /// The per-sender lane-repair stream (see kTransferRerunSalt); one
+  /// per sender per round, shared by all of that plan's lane repairs.
+  [[nodiscard]] graph::Rng rerun_stream(core::PeerId p) const {
+    return graph::Rng::stream(choke_key_ ^ kTransferRerunSalt, p, round_);
+  }
+  /// Partial progress of (receiver row, piece) in KB; 0 when absent
+  /// (entries are created at the first contribution, so absent == 0).
+  [[nodiscard]] double partial_progress(Row qr, PieceId piece) const;
+  /// Sends up to `budget` KB from p to q against live state (the rerun
+  /// path); returns the KB actually transferred (less than `budget`
+  /// when q runs out of pickable pieces, or q completed and departed
+  /// mid-round). Randomness comes from the caller-supplied stream.
+  double send_to(core::PeerId p, core::PeerId q, std::size_t slot_pq, double budget,
+                 graph::Rng& rng);
   /// Rarest-first pick for receiver row qr from sender row pr,
   /// honoring the endgame request discipline when configured (slot_qp
   /// is q's slot toward p, exempt from the reservation scan).
-  [[nodiscard]] std::optional<PieceId> pick_for(Row qr, Row pr, std::size_t slot_qp);
+  [[nodiscard]] std::optional<PieceId> pick_for(Row qr, Row pr, std::size_t slot_qp,
+                                                graph::Rng& rng);
   void complete_piece(core::PeerId q, Row qr, PieceId piece);
   /// Removes a peer from the data plane at round coordinate `when`:
   /// availability counters drop, partial/in-flight state is discarded,
@@ -652,6 +859,45 @@ class Swarm {
   // while completion departures compact rows mid-round).
   // strat-lint: not-serialized -- rebuilt at the top of every transfer_step
   std::vector<core::PeerId> order_scratch_;
+  // Per-chunk scratch of the transfer compute stage: the planned
+  // grants, the hungry/next-hungry redistribution lists (hoisted from
+  // per-call locals), per-receiver lane state and the pick exclusion
+  // bitfield. One instance per compute worker, indexed by chunk id.
+  struct TransferScratch {
+    std::vector<std::pair<core::PeerId, std::size_t>> hungry;       // (receiver, sender slot)
+    std::vector<std::pair<core::PeerId, std::size_t>> next_hungry;
+    std::vector<detail::TransferLane> lanes;
+    std::vector<detail::TransferGrant> grants;
+    std::vector<detail::SenderPlan> plans;
+    Bitfield reserved;  // sized lazily to num_pieces
+    std::vector<PieceId> reserved_list;
+    std::vector<PieceId> reserved_partials;  // soft tier, released on fallback
+  };
+  // strat-lint: not-serialized -- per-worker compute scratch, cleared per phase
+  std::vector<TransferScratch> transfer_scratch_;
+  // Per-plan lane table for the commit's validation pass, indexed by
+  // the grants' plan-local lane ordinal: receiver, its sender-side
+  // slot, its row as resolved at grouping time (rows cannot move
+  // during a single plan's grouping pass, so one lookup serves every
+  // grant until a completion departure compacts them), the lane's
+  // planned KB and its staleness verdict (re-sized per plan).
+  struct CommitLane {
+    core::PeerId receiver = 0;
+    std::size_t slot_pq = 0;
+    Row row = 0;
+    double kb = 0.0;
+    bool used = false;  // lane ordinal actually granted to in this plan
+    bool stale = false;
+  };
+  // strat-lint: not-serialized -- commit-stage scratch, cleared per plan
+  std::vector<CommitLane> commit_lanes_;
+  // Repair-path redistribution lists, (receiver, sender-side slot) like
+  // the per-chunk hungry scratch (hoisted members: the commit stage is
+  // caller-only, so one pair suffices).
+  // strat-lint: not-serialized -- cleared per use
+  std::vector<std::pair<core::PeerId, std::size_t>> hungry_scratch_;
+  // strat-lint: not-serialized -- cleared per use
+  std::vector<std::pair<core::PeerId, std::size_t>> next_hungry_scratch_;
   // Per-chunk scratch for the parallel phases: one candidates buffer
   // per choke worker (the hoisted per-row allocation), one tally
   // vector per endgame-count worker. Sized lazily to the chunk count.

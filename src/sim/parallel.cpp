@@ -1,11 +1,9 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "sim/worker_pool.hpp"
 
 namespace strat::sim {
 
@@ -21,27 +19,7 @@ void parallel_for(std::size_t count, std::size_t threads,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::shared().run(count, threads, body);
 }
 
 std::size_t chunk_count(std::size_t count, std::size_t threads,
@@ -70,26 +48,10 @@ void parallel_for_chunks(
     run_chunk(0);
     return;
   }
-  // One spawned worker per chunk except the last, which the caller runs
-  // itself — a phase of N chunks costs N - 1 thread spawns per call.
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(chunks - 1);
-  const auto guarded = [&](std::size_t c) noexcept {
-    try {
-      run_chunk(c);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-  for (std::size_t c = 0; c + 1 < chunks; ++c) {
-    pool.emplace_back([&guarded, c] { guarded(c); });
-  }
-  guarded(chunks - 1);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // One pool worker per chunk except one the caller claims itself; the
+  // persistent pool makes an N-chunk phase cost N - 1 wakeups instead
+  // of N - 1 thread spawns per call.
+  WorkerPool::shared().run(chunks, chunks, run_chunk);
 }
 
 }  // namespace strat::sim

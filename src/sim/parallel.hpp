@@ -1,20 +1,27 @@
-// Minimal thread-pool-style parallel loops.
+// Minimal parallel loops over a persistent worker pool.
 //
 // Scenario sweeps and Monte-Carlo replications are embarrassingly
 // parallel: every index gets its own Rng seeded independently, and
 // results are written to per-index slots. parallel_for() distributes
-// indices over `threads` std::thread workers via an atomic counter, so
-// the *schedule* is nondeterministic but the per-index results are not:
-// running with 1 thread or N threads produces identical output.
+// indices over up to `threads` workers of the process-wide
+// sim::WorkerPool via an atomic counter, so the *schedule* is
+// nondeterministic but the per-index results are not: running with 1
+// thread or N threads produces identical output.
 //
 // parallel_for_chunks() is the intra-round variant: it splits a dense
 // index range into at most `threads` contiguous chunks (each at least
-// `min_per_chunk` wide, so tiny ranges run inline instead of paying
-// thread spawns) and hands each worker a [begin, end) range plus a
+// `min_per_chunk` wide, so tiny ranges run inline instead of paying a
+// pool wakeup) and hands each worker a [begin, end) range plus a
 // stable chunk id it can key per-worker scratch buffers by. The swarm
 // round phases fan over this; their per-index work is either pure
-// (fold_rates) or draws from per-peer counter-based RNG streams
-// (choke_step), so results stay bitwise identical at any thread count.
+// (fold_rates), draws from per-peer counter-based RNG streams
+// (choke_step), or writes only per-chunk plan buffers (transfer
+// compute), so results stay bitwise identical at any thread count.
+//
+// Both loops share WorkerPool::shared() (see worker_pool.hpp): threads
+// are spawned once, on demand, and reused across every phase of every
+// round instead of being spawned per call. Nested calls (a parallel
+// loop issued from inside a pool task) degrade to inline execution.
 #pragma once
 
 #include <cstddef>
@@ -44,10 +51,10 @@ void parallel_for(std::size_t count, std::size_t threads,
 /// chunk_count(...) contiguous ranges; chunk ids are dense in
 /// [0, chunk_count) and each is claimed by exactly one worker, so
 /// body may use `chunk` to index scratch without synchronization.
-/// The last chunk runs inline on the caller (N chunks cost N - 1
-/// thread spawns). body must be safe to call concurrently for
-/// distinct chunks; the first exception is rethrown on the caller
-/// after all workers join.
+/// The caller participates (N chunks cost at most N - 1 pool wakeups,
+/// zero thread spawns once the pool is warm). body must be safe to
+/// call concurrently for distinct chunks; the first exception is
+/// rethrown on the caller after the job completes.
 void parallel_for_chunks(
     std::size_t count, std::size_t threads, std::size_t min_per_chunk,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body);

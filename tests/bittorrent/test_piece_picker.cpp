@@ -169,5 +169,71 @@ TEST(PiecePicker, RemoveAvailabilityUndoesAddAndGuardsZero) {
   EXPECT_EQ(*pick, 3u);
 }
 
+// Independent scalar reimplementation of the pick contract: minimum
+// availability among candidates, ties counted in piece order, one
+// rng.below(ties) draw (none for a single tie), k-th tie in piece
+// order. pick_rarest dispatches to a vector kernel on machines that
+// have it; this pins the kernel to the exact scalar semantics — same
+// pick AND same RNG consumption — on whatever path this machine runs.
+std::optional<PieceId> reference_pick(const PiecePicker& picker, const Bitfield& local,
+                                      const Bitfield& remote, const Bitfield* excluded,
+                                      graph::Rng& rng) {
+  std::uint32_t best = 0;
+  std::uint64_t ties = 0;
+  for (PieceId t = 0; t < local.size(); ++t) {
+    if (local.test(t) || !remote.test(t) || (excluded != nullptr && excluded->test(t))) continue;
+    const std::uint32_t avail = picker.availability(t);
+    if (ties == 0 || avail < best) {
+      best = avail;
+      ties = 1;
+    } else if (avail == best) {
+      ++ties;
+    }
+  }
+  if (ties == 0) return std::nullopt;
+  std::uint64_t k = ties == 1 ? 0 : rng.below(ties);
+  for (PieceId t = 0; t < local.size(); ++t) {
+    if (local.test(t) || !remote.test(t) || (excluded != nullptr && excluded->test(t))) continue;
+    if (picker.availability(t) != best) continue;
+    if (k == 0) return t;
+    --k;
+  }
+  return std::nullopt;
+}
+
+TEST(PiecePicker, PickMatchesScalarContractAtEveryDensity) {
+  // 1029 pieces: a ragged tail word, so the kernel's masked loads and
+  // the tail-lane handling are exercised too.
+  const std::size_t n = 1029;
+  PiecePicker picker(n);
+  graph::Rng setup(2024);
+  for (PieceId t = 0; t < n; ++t) {
+    // Clustered availability (many ties) to stress tie counting.
+    const auto copies = 1 + static_cast<std::uint32_t>(setup.below(7));
+    for (std::uint32_t c = 0; c < copies; ++c) picker.add_availability(t);
+  }
+  for (const double density : {0.01, 0.1, 0.4, 0.8, 0.99}) {
+    Bitfield local(n);
+    Bitfield remote(n);
+    Bitfield excluded(n);
+    for (PieceId t = 0; t < n; ++t) {
+      if (setup.bernoulli(0.4)) local.set(t);
+      if (setup.bernoulli(density)) remote.set(t);
+      if (setup.bernoulli(0.1)) excluded.set(t);
+    }
+    graph::Rng a(99);
+    graph::Rng b(99);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(picker.pick_rarest(local, remote, a), reference_pick(picker, local, remote, nullptr, b))
+          << "density " << density << " iter " << i;
+      ASSERT_EQ(picker.pick_rarest(local, remote, excluded, a),
+                reference_pick(picker, local, remote, &excluded, b))
+          << "density " << density << " iter " << i;
+      // Same draw count: the streams must stay in lockstep.
+      ASSERT_EQ(a(), b()) << "RNG divergence at density " << density << " iter " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace strat::bt
