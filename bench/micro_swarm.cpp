@@ -17,12 +17,17 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+#include <optional>
+#include <vector>
+
 #include "bittorrent/bandwidth.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "bittorrent/reference_swarm.hpp"
 #include "bittorrent/scenario.hpp"
 #include "bittorrent/snapshot.hpp"
 #include "bittorrent/swarm.hpp"
+#include "bittorrent/tracker_sim.hpp"
 
 namespace {
 
@@ -339,6 +344,144 @@ BENCHMARK(BM_SwarmSnapshot)
     ->Arg(100000)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
+
+// --- Tracker-scale ecosystem -----------------------------------------
+//
+// BM_TrackerSimShards sweeps shards {1, 2, 4, 8} over ecosystems of
+// 10 / 100 / 1000 churned multi-torrent swarms. One item = one
+// whole-swarm round, so items_per_second is the tracker's swarm-round
+// throughput. The counters split each round the way the sharding
+// model does: barrier_ms is the serial tracker phase (registry prune,
+// capacity re-split, Zipf arrivals), shard_ms the parallel fan-out,
+// and imbalance_ms the max-min shard wall-clock spread — the number
+// that says whether round-robin swarm assignment is leaving cores
+// idle. Runs are bitwise identical across the shard sweep (the
+// test-suite contract); only the wall clock may move.
+
+bt::SwarmConfig tracker_member_config() {
+  bt::SwarmConfig cfg;
+  cfg.num_peers = 16;  // overwritten by each seed's member list
+  cfg.seeds = 1;
+  cfg.num_pieces = 64;
+  cfg.piece_kb = 64.0;
+  cfg.neighbor_degree = 6.0;
+  cfg.initial_completion = 0.5;
+  cfg.stay_as_seed = false;  // completions depart: real registry churn
+  return cfg;
+}
+
+std::vector<bt::TrackerSwarmSeed> tracker_disjoint_seeds(std::size_t num_swarms,
+                                                         std::size_t peers) {
+  std::vector<bt::TrackerSwarmSeed> seeds(num_swarms);
+  for (std::size_t k = 0; k < num_swarms; ++k) {
+    seeds[k].config = tracker_member_config();
+    seeds[k].members.resize(peers);
+    for (std::size_t local = 0; local < peers; ++local) {
+      seeds[k].members[local] = static_cast<bt::GlobalPeerId>(k * peers + local);
+    }
+  }
+  return seeds;
+}
+
+void BM_TrackerSimShards(benchmark::State& state) {
+  const auto num_swarms = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kPeers = 16;
+  bt::TrackerConfig cfg;
+  cfg.shards = shards;
+  // Ecosystem-level Poisson arrivals scaled with the swarm count so
+  // the per-swarm churn regime is comparable across the sweep.
+  cfg.arrival_rate = 0.2 * static_cast<double>(num_swarms);
+  cfg.zipf_exponent = 1.0;
+  cfg.multi_torrent_fraction = 0.3;
+  cfg.arrival_model = bt::BandwidthModel::saroiu2002();
+  cfg.swarm_churn.lifetime = bt::ChurnSpec::Lifetime::kExponential;
+  cfg.swarm_churn.lifetime_rounds = 25.0;
+  cfg.swarm_churn.arrival_completion = 0.25;
+  const auto capacities =
+      bt::BandwidthModel::saroiu2002().representative_sample(num_swarms * kPeers);
+  bt::TrackerSim tracker(cfg, tracker_disjoint_seeds(num_swarms, kPeers), capacities, 42);
+  tracker.run(5);  // warm up: live churn state before the timed rounds
+  for (auto _ : state) {
+    tracker.run_round();
+    benchmark::DoNotOptimize(tracker.rounds_elapsed());
+  }
+  const bt::EcosystemProfile prof = tracker.ecosystem_profile();
+  const auto rounds = static_cast<double>(prof.rounds);  // warmup included
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["barrier_ms"] = prof.barrier_seconds * 1000.0 / rounds;
+  state.counters["shard_ms"] = prof.shard_seconds * 1000.0 / rounds;
+  state.counters["imbalance_ms"] = prof.shard_imbalance_seconds * 1000.0 / rounds;
+  state.counters["live_peers"] = static_cast<double>(tracker.registry().size());
+  state.counters["live_memberships"] = static_cast<double>(tracker.live_membership_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(num_swarms));
+}
+BENCHMARK(BM_TrackerSimShards)
+    ->ArgsProduct({{10, 100, 1000}, {1, 2, 4, 8}})
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
+
+// The shards=1 overhead gate: the same closed (no arrivals, frozen
+// capacity split) 100-swarm workload through the tracker layer versus
+// a plain serial loop over standalone Swarm instances — exactly what
+// run_multi_swarm did before it became a TrackerSim shim. The
+// acceptance bar keeps BM_TrackerClosedRounds within 10% of
+// BM_SerialSwarmLoopRounds: the registry barrier and the inline
+// shards=1 fan-out must cost noise, not a tax, when the tracker adds
+// nothing.
+
+void BM_TrackerClosedRounds(benchmark::State& state) {
+  constexpr std::size_t kSwarms = 100;
+  constexpr std::size_t kPeers = 16;
+  bt::TrackerConfig cfg;
+  cfg.shards = 1;
+  cfg.dynamic_capacity_split = false;
+  const auto capacities =
+      bt::BandwidthModel::saroiu2002().representative_sample(kSwarms * kPeers);
+  bt::TrackerSim tracker(cfg, tracker_disjoint_seeds(kSwarms, kPeers), capacities, 42);
+  for (auto _ : state) {
+    tracker.run_round();
+    benchmark::DoNotOptimize(tracker.rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSwarms));
+}
+BENCHMARK(BM_TrackerClosedRounds)->Iterations(20)->Unit(benchmark::kMillisecond);
+
+void BM_SerialSwarmLoopRounds(benchmark::State& state) {
+  constexpr std::size_t kSwarms = 100;
+  constexpr std::size_t kPeers = 16;
+  const auto capacities =
+      bt::BandwidthModel::saroiu2002().representative_sample(kSwarms * kPeers);
+  // Stable-address slots: Swarm holds a reference to its Rng, so both
+  // live behind one unique_ptr (the TrackerSim slot layout).
+  struct Slot {
+    graph::Rng rng;
+    std::optional<bt::Swarm> swarm;
+    explicit Slot(std::uint64_t seed) : rng(seed) {}
+  };
+  std::vector<std::unique_ptr<Slot>> slots;
+  slots.reserve(kSwarms);
+  for (std::size_t k = 0; k < kSwarms; ++k) {
+    auto slot = std::make_unique<Slot>(
+        42 + bt::kTrackerSwarmSeedStride * (static_cast<std::uint64_t>(k) + 1));
+    std::vector<double> caps(capacities.begin() + static_cast<std::ptrdiff_t>(k * kPeers),
+                             capacities.begin() +
+                                 static_cast<std::ptrdiff_t>((k + 1) * kPeers));
+    bt::SwarmConfig cfg = tracker_member_config();
+    cfg.num_peers = kPeers;
+    slot->swarm.emplace(cfg, caps, slot->rng);
+    slots.push_back(std::move(slot));
+  }
+  for (auto _ : state) {
+    for (auto& slot : slots) slot->swarm->run_round();
+    benchmark::DoNotOptimize(slots.back()->swarm->rounds_elapsed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSwarms));
+}
+BENCHMARK(BM_SerialSwarmLoopRounds)->Iterations(20)->Unit(benchmark::kMillisecond);
 
 void BM_RarestFirstPick(benchmark::State& state) {
   const auto pieces = static_cast<std::size_t>(state.range(0));

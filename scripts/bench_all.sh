@@ -43,12 +43,17 @@ done
 # cost (BM_SwarmSnapshot at 10^4/10^5 peers: snapshot_mb plus save/
 # load ms, with save_load_vs_round < 1.0 as the affordability bar),
 # as one JSON snapshot (BENCH_swarm.json) for regression comparisons
-# across PRs.
+# across PRs. The tracker tier rides along: BM_TrackerSimShards
+# (shards 1/2/4/8 x 10/100/1000 churned swarms — swarm-round
+# throughput plus barrier/shard/imbalance ms) and the shards=1
+# overhead gate pair BM_TrackerClosedRounds vs
+# BM_SerialSwarmLoopRounds (tracker layer within 10% of a plain
+# serial Swarm loop on the same closed 100-swarm workload).
 micro_swarm="${build_dir}/bench/micro_swarm"
 if [[ -x "${micro_swarm}" ]]; then
   echo "== micro_swarm -> BENCH_swarm.json"
   "${micro_swarm}" \
-    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_SwarmSnapshot/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*' \
+    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_SwarmSnapshot/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*|BM_TrackerSimShards/.*|BM_TrackerClosedRounds.*|BM_SerialSwarmLoopRounds.*' \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out_dir}/BENCH_swarm.json" \
     --benchmark_out_format=json > /dev/null

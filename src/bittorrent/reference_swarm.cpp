@@ -163,6 +163,20 @@ std::size_t ReferenceSwarm::reannounce(core::PeerId p) {
   return connect_random_live(p, target - overlay_.degree(p));
 }
 
+void ReferenceSwarm::set_upload_capacity(core::PeerId p, double kbps) {
+  if (p >= stats_.size()) {
+    throw std::out_of_range("ReferenceSwarm::set_upload_capacity: unknown peer");
+  }
+  if (!(kbps > 0.0)) {
+    throw std::invalid_argument(
+        "ReferenceSwarm::set_upload_capacity: capacity must be positive");
+  }
+  if (departed_.at(p)) return;
+  if (stats_[p].upload_kbps == kbps) return;
+  stats_[p].upload_kbps = kbps;
+  ranks_dirty_ = true;
+}
+
 bool ReferenceSwarm::wants_from(core::PeerId receiver, core::PeerId sender) const {
   return have_[receiver].interested_in(have_[sender]);
 }

@@ -60,6 +60,10 @@ class ReferenceSwarm {
   core::PeerId join(double upload_kbps);
   void leave(core::PeerId p);
   std::size_t reannounce(core::PeerId p);
+  /// Externally-driven capacity update, mirroring
+  /// Swarm::set_upload_capacity (between rounds only; no-op for
+  /// departed peers or an unchanged value).
+  void set_upload_capacity(core::PeerId p, double kbps);
 
   [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
   [[nodiscard]] std::size_t peer_count() const noexcept { return stats_.size(); }

@@ -5,15 +5,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "bittorrent/tracker_sim.hpp"
 #include "sim/parallel.hpp"
 
 namespace strat::bt {
 
 namespace {
-
-// Seed offset per member swarm (SplitMix64 increment) so swarms of one
-// multi-swarm run draw independent streams from one scenario seed.
-constexpr std::uint64_t kSwarmSeedStride = 0x9E3779B97F4A7C15ULL;
 
 ScenarioResult summarize(const Swarm& swarm, std::uint64_t seed) {
   ScenarioResult out;
@@ -190,40 +187,38 @@ MultiSwarmResult run_multi_swarm(const MultiSwarmSpec& spec, std::uint64_t seed,
     }
   }
 
+  // Thin shim over the tracker layer: the overlap layout becomes the
+  // seed list of a closed (no arrivals) TrackerSim, `threads` becomes
+  // the shard count, and the construction-time capacity split is
+  // frozen — the historical semantics. Per-swarm Rng seeding
+  // (seed + stride * (k+1)) is identical, so a member swarm still
+  // reproduces the same run a standalone Swarm would.
+  std::vector<TrackerSwarmSeed> seeds(spec.num_swarms);
+  for (std::size_t k = 0; k < spec.num_swarms; ++k) {
+    seeds[k].config = spec.config;
+    seeds[k].members.resize(spec.peers_per_swarm);
+    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
+      seeds[k].members[local] = static_cast<core::PeerId>(k * stride + local);
+    }
+  }
+  TrackerConfig tcfg;
+  tcfg.shards = threads == 0 ? 1 : threads;
+  tcfg.dynamic_capacity_split = false;
+  TrackerSim tracker(tcfg, std::move(seeds), spec.upload_kbps, seed);
+  tracker.run(spec.warmup_rounds);
+  tracker.reset_stratification();
+  tracker.run(spec.measure_rounds);
+
   MultiSwarmResult out;
   out.per_swarm.resize(spec.num_swarms);
   // Aggregate leech rate per distinct peer, summed over member swarms.
-  // Distinct swarms write distinct slots, so the parallel loop is safe:
-  // each peer's rate contributions go to per-swarm buffers first.
-  std::vector<std::vector<double>> swarm_rates(spec.num_swarms);
-  sim::parallel_for(spec.num_swarms, threads, [&](std::size_t k) {
-    SwarmConfig cfg = spec.config;
-    cfg.num_peers = spec.peers_per_swarm;
-    std::vector<double> capacities(spec.peers_per_swarm);
-    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
-      const std::size_t global = k * stride + local;
-      // Divided attention: a peer in m swarms brings 1/m of its
-      // capacity to each.
-      capacities[local] =
-          spec.upload_kbps[global] / static_cast<double>(memberships[global]);
-    }
-    graph::Rng rng(seed + kSwarmSeedStride * (k + 1));
-    Swarm swarm(cfg, capacities, rng);
-    swarm.run(spec.warmup_rounds);
-    swarm.reset_stratification();
-    swarm.run(spec.measure_rounds);
-    out.per_swarm[k] = summarize(swarm, seed + kSwarmSeedStride * (k + 1));
-    auto& rates = swarm_rates[k];
-    rates.resize(spec.peers_per_swarm);
-    for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
-      rates[local] = swarm.leech_download_kbps(static_cast<core::PeerId>(local));
-    }
-  });
-
   std::vector<double> total_rate(distinct, 0.0);
   for (std::size_t k = 0; k < spec.num_swarms; ++k) {
+    const Swarm& swarm = tracker.swarm(k);
+    out.per_swarm[k] = summarize(swarm, seed + kTrackerSwarmSeedStride * (k + 1));
     for (std::size_t local = 0; local < spec.peers_per_swarm; ++local) {
-      total_rate[k * stride + local] += swarm_rates[k][local];
+      total_rate[k * stride + local] +=
+          swarm.leech_download_kbps(static_cast<core::PeerId>(local));
     }
   }
   double single_sum = 0.0;

@@ -183,7 +183,7 @@ class ChurnDriver {
             live_scratch_[j] = live_scratch_.back();
             live_scratch_.pop_back();
           }
-          const core::PeerId fresh = join_fresh(swarm, now);
+          const core::PeerId fresh = join_fresh(swarm);
           // (a Bernoulli-complete arrival can depart on the spot)
           if (!swarm.departed(fresh)) live_scratch_.push_back(fresh);
         }
@@ -196,12 +196,32 @@ class ChurnDriver {
                r == spec_.flash_crowd_round) {
       arriving = spec_.flash_crowd_size;
     }
-    for (std::size_t i = 0; i < arriving; ++i) join_fresh(swarm, now);
+    for (std::size_t i = 0; i < arriving; ++i) join_fresh(swarm);
     if (spec_.reannounce_interval > 0 && r > 0 && r % spec_.reannounce_interval == 0) {
       // reannounce() never joins or departs anyone, so the live span
       // itself is stable here.
       for (const core::PeerId p : swarm.live_ids()) swarm.reannounce(p);
     }
+  }
+
+  /// Injected arrival: the caller supplies the capacity (e.g.
+  /// TrackerSim's ecosystem-level arrival process, which samples it
+  /// from a counter-based stream and may split it across swarms), and
+  /// the driver contributes everything swarm-local — the
+  /// arrival-completion bitfield and the lifetime bookkeeping — so
+  /// injected and spec-driven arrivals share one code path. Draw order
+  /// against `rng` matches join_fresh minus the capacity draw. Returns
+  /// the new peer's external id. Call between rounds only.
+  core::PeerId join_injected(SwarmT& swarm, double kbps) {
+    Bitfield have(config_.num_pieces);
+    if (spec_.arrival_completion > 0.0) {
+      for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
+        if (rng_.bernoulli(spec_.arrival_completion)) have.set(piece);
+      }
+    }
+    const core::PeerId p = swarm.join(kbps, have);
+    set_deadline(p, static_cast<double>(swarm.rounds_elapsed()));
+    return p;
   }
 
   /// Deadlines currently tracked — O(live) by construction (erased on
@@ -242,19 +262,15 @@ class ChurnDriver {
   }
 
  private:
-  core::PeerId join_fresh(SwarmT& swarm, double now) {
+  // Spec-driven arrival: sample the capacity (model draw or pool
+  // cycle), then hand off to the shared injected-arrival path. The
+  // `now` deadlines join_injected stamps equal the `now` callers used
+  // to pass — rounds_elapsed() is constant across a before_round().
+  core::PeerId join_fresh(SwarmT& swarm) {
     const double kbps = spec_.arrival_bandwidth == ChurnSpec::ArrivalBandwidth::kModel
                             ? spec_.arrival_model->sample(rng_)
                             : pool_[next_capacity_++ % pool_.size()];
-    Bitfield have(config_.num_pieces);
-    if (spec_.arrival_completion > 0.0) {
-      for (PieceId piece = 0; piece < config_.num_pieces; ++piece) {
-        if (rng_.bernoulli(spec_.arrival_completion)) have.set(piece);
-      }
-    }
-    const core::PeerId p = swarm.join(kbps, have);
-    set_deadline(p, now);
-    return p;
+    return join_injected(swarm, kbps);
   }
 
   void set_deadline(core::PeerId p, double now) {
@@ -378,8 +394,11 @@ struct MultiSwarmResult {
   double mean_multi_home_kbps = 0.0;   // mean in-swarm leech rate, 2+ swarms
 };
 
-/// Runs every member swarm (in parallel when threads > 1; swarms are
-/// independent once capacities are split, so this is deterministic).
+/// Runs every member swarm. A thin shim over TrackerSim
+/// (tracker_sim.hpp) since the tracker layer landed: `threads` maps to
+/// TrackerConfig::shards and the capacity split is frozen at
+/// construction (the historical semantics). Deterministic at any
+/// thread count, bitwise.
 [[nodiscard]] MultiSwarmResult run_multi_swarm(const MultiSwarmSpec& spec, std::uint64_t seed,
                                                std::size_t threads = 1);
 

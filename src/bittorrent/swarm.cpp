@@ -296,6 +296,21 @@ std::size_t Swarm::reannounce(core::PeerId p) {
   return connect_random_live(p, target - nbr_[pr].size());
 }
 
+void Swarm::set_upload_capacity(core::PeerId p, double kbps) {
+  if (p >= table_.id_space()) {
+    throw std::out_of_range("Swarm::set_upload_capacity: unknown peer");
+  }
+  if (!(kbps > 0.0)) {
+    throw std::invalid_argument(
+        "Swarm::set_upload_capacity: capacity must be positive");
+  }
+  const Row pr = table_.row_of(p);
+  if (pr == PeerTable::kNoRow) return;
+  if (stats_[pr].upload_kbps == kbps) return;
+  stats_[pr].upload_kbps = kbps;
+  ranks_dirty_ = true;
+}
+
 std::size_t Swarm::fan_out() const noexcept {
   return config_.threads == 0 ? sim::recommended_threads() : config_.threads;
 }

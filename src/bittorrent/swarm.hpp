@@ -560,7 +560,25 @@ class Swarm {
   /// Returns the number of fresh connections. No-op for departed peers.
   std::size_t reannounce(core::PeerId p);
 
+  /// Externally-driven capacity update: replaces p's upload capacity
+  /// before the next round — the hook TrackerSim's cross-swarm
+  /// capacity splitting uses when a multi-torrent peer's membership
+  /// count changes. Call between rounds only, like save(): capacity
+  /// feeds the per-round upload budget and the bandwidth ranks, both
+  /// of which are round-scoped. No-op when the capacity is unchanged
+  /// (ranks stay clean) or the peer has departed (its archived
+  /// capacity stays what it had while present). Throws
+  /// std::out_of_range for unknown ids and std::invalid_argument for
+  /// non-positive capacities.
+  void set_upload_capacity(core::PeerId p, double kbps);
+
   // --- queries --------------------------------------------------------
+
+  /// The construction-time configuration (num_peers reflects the
+  /// initial population, not arrivals). Callers that rebuild companion
+  /// state after resume() — e.g. TrackerSim re-deriving a ChurnDriver
+  /// per restored swarm — read it from here.
+  [[nodiscard]] const SwarmConfig& config() const noexcept { return config_; }
 
   [[nodiscard]] std::size_t rounds_elapsed() const noexcept { return round_; }
 

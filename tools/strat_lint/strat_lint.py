@@ -415,6 +415,13 @@ DEFAULT_CONTRACTS = [
         load_fns=["restore_churn_driver"],
         check_tags=False,  # the companion section is tagged by magic only
     ),
+    SnapshotContract(
+        class_name="TrackerSim",
+        header="src/bittorrent/tracker_sim.hpp",
+        serializers=["src/bittorrent/tracker_sim.cpp"],
+        save_fns=["save"],
+        load_fns=["resume"],
+    ),
 ]
 
 MEMBER_DECL_RE = re.compile(r"(\w+_)\s*(?:=[^;]*)?;\s*$")

@@ -146,6 +146,8 @@ class SnapshotDeletionDemoTest(unittest.TestCase):
         "src/bittorrent/scenario.hpp",
         "src/bittorrent/snapshot.cpp",
         "src/bittorrent/snapshot.hpp",
+        "src/bittorrent/tracker_sim.hpp",
+        "src/bittorrent/tracker_sim.cpp",
     ]
 
     def copy_contract_tree(self, tmp: Path) -> None:
