@@ -483,6 +483,50 @@ void BM_SerialSwarmLoopRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialSwarmLoopRounds)->Iterations(20)->Unit(benchmark::kMillisecond);
 
+// Fault-injection cost: the BM_SwarmRound workload with the fault
+// model off (arg 0 — must stay within noise of BM_SwarmRound/5000,
+// the zero-cost-when-off gate) and with a combined outage + flaky
+// connect + NAT + lane-loss regime on (arg 1). fault_ms is the
+// explicit fault phase (backoff sweep) per round; the rest of the
+// faulted overhead lives inside announce and commit and shows up in
+// the whole-round time.
+void BM_SwarmFaults(benchmark::State& state) {
+  constexpr std::size_t kPeers = 5000;
+  const bool faulted = state.range(0) != 0;
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  graph::Rng rng(1);
+  bt::SwarmConfig cfg = round_config(kPeers);
+  if (faulted) {
+    cfg.faults.outage_period = 10;
+    cfg.faults.outage_duration = 3;
+    cfg.faults.connect_failure_prob = 0.2;
+    cfg.faults.connect_attempts = 2;
+    cfg.faults.nat_fraction = 0.25;
+    cfg.faults.lane_loss_prob = 0.05;
+  }
+  bt::Swarm swarm(cfg, model.representative_sample(kPeers), rng);
+  bt::ChurnSpec spec;
+  spec.replacement_rate = bt::paper_replacement_rate(5.0, kPeers);
+  spec.arrival_completion = 0.5;
+  spec.reannounce_interval = 10;
+  bt::ChurnDriver<bt::Swarm> churn(spec, cfg, model.representative_sample(kPeers), rng);
+  churn.attach(swarm);
+  for (auto _ : state) {
+    churn.before_round(swarm);
+    swarm.run_round();
+    benchmark::DoNotOptimize(swarm.rounds_elapsed());
+  }
+  const auto& prof = swarm.phase_profile();
+  const auto rounds = static_cast<double>(swarm.rounds_elapsed());
+  state.counters["fault_ms"] = prof.fault_seconds * 1000.0 / rounds;
+  state.counters["lost_lanes"] = static_cast<double>(prof.fault_lost_lanes);
+  state.counters["connect_failures"] = static_cast<double>(prof.fault_connect_failures);
+  state.counters["degraded_peers"] = static_cast<double>(prof.fault_degraded_peers);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPeers));
+}
+BENCHMARK(BM_SwarmFaults)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_RarestFirstPick(benchmark::State& state) {
   const auto pieces = static_cast<std::size_t>(state.range(0));
   graph::Rng rng(2);

@@ -1,0 +1,157 @@
+// Scenario driver: fault injection vs. stratification.
+//
+// The paper's stratification result assumes a well-behaved protocol
+// layer: every announce lands, every connect sticks, every planned
+// transfer commits. This driver measures how robust the equilibrium
+// is when the infrastructure misbehaves — a grid over tracker outage
+// frequency (period of the down window, with churn active so degraded
+// peers accumulate) crossed with per-lane transfer loss, plus a second
+// table over connect-level faults (flaky dials and NAT-ed
+// populations). Each point runs replacement churn through the dynamic
+// overlay and averages parallel replications. Output: fault
+// accounting (failed/retried announces, lost lanes, connect failures)
+// next to the stratification window metrics, so the rank correlation
+// can be read directly against the injected fault intensity.
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bittorrent/bandwidth.hpp"
+#include "bittorrent/scenario.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+struct FaultAverages {
+  double arrivals = 0.0;
+  double completed = 0.0;
+  double mean_kbps = 0.0;
+  double corr = 0.0;
+  double offset = 0.0;
+  double failed_announces = 0.0;
+  double retries = 0.0;
+  double connect_failures = 0.0;
+  double nat_rejections = 0.0;
+  double lost_lanes = 0.0;
+};
+
+FaultAverages average(const std::vector<strat::bt::ScenarioResult>& results) {
+  FaultAverages a;
+  for (const auto& r : results) {
+    a.arrivals += static_cast<double>(r.arrivals);
+    a.completed += static_cast<double>(r.completed_leechers);
+    a.mean_kbps += r.mean_leech_kbps;
+    a.corr += r.strat.partner_rank_correlation;
+    a.offset += r.strat.mean_normalized_offset;
+    a.failed_announces += static_cast<double>(r.fault_failed_announces);
+    a.retries += static_cast<double>(r.fault_retries);
+    a.connect_failures += static_cast<double>(r.fault_connect_failures);
+    a.nat_rejections += static_cast<double>(r.fault_nat_rejections);
+    a.lost_lanes += static_cast<double>(r.fault_lost_lanes);
+  }
+  const auto n = static_cast<double>(results.size());
+  a.arrivals /= n;
+  a.completed /= n;
+  a.mean_kbps /= n;
+  a.corr /= n;
+  a.offset /= n;
+  a.failed_announces /= n;
+  a.retries /= n;
+  a.connect_failures /= n;
+  a.nat_rejections /= n;
+  a.lost_lanes /= n;
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace strat;
+  const sim::Cli cli(argc, argv,
+                     {"peers", "reps", "warmup", "window", "threads", "seed", "csv"});
+  const auto peers = static_cast<std::size_t>(cli.get_int("peers", 1000));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 15));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 30));
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", static_cast<std::int64_t>(sim::recommended_threads())));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 53));
+
+  bench::banner(cli, "Fault injection vs. stratification (" + std::to_string(peers) +
+                         " peers, " + std::to_string(reps) + " replications, " +
+                         std::to_string(threads) + " threads)");
+
+  const bt::BandwidthModel model = bt::BandwidthModel::saroiu2002();
+  std::vector<std::uint64_t> seeds(reps);
+  for (std::size_t i = 0; i < reps; ++i) seeds[i] = base_seed + i;
+
+  bt::SwarmScenario base;
+  base.config.num_peers = peers;
+  base.config.seeds = std::max<std::size_t>(1, peers / 1000);
+  base.config.num_pieces = 1024;
+  base.config.piece_kb = 1024.0;
+  base.config.neighbor_degree = 25.0;
+  base.config.initial_completion = 0.5;
+  base.upload_kbps = model.representative_sample(peers);
+  base.warmup_rounds = warmup;
+  base.measure_rounds = window;
+  // Churn keeps the announce path hot: without arrivals and
+  // re-announces, tracker outages would have nothing to break.
+  base.churn.replacement_rate = bt::paper_replacement_rate(5.0, peers);
+  base.churn.arrival_completion = 0.5;
+  base.churn.reannounce_interval = 10;
+
+  // --- outage frequency x lane loss ----------------------------------
+  sim::Table table({"outage period", "down frac", "lane loss", "arrivals",
+                    "failed announces", "retries", "lost lanes", "completed",
+                    "mean leech kbps", "partner-rank corr", "mean |offset|/n"});
+  for (const std::size_t period : {std::size_t{0}, std::size_t{20}, std::size_t{10},
+                                   std::size_t{5}}) {
+    for (const double loss : {0.0, 0.02, 0.1}) {
+      bt::SwarmScenario scenario = base;
+      // A fixed 40% duty cycle: more frequent outages also mean more
+      // frequent recoveries, so "period" sweeps the churn-vs-outage
+      // beat frequency at constant downtime.
+      scenario.config.faults.outage_period = period;
+      scenario.config.faults.outage_duration = period * 2 / 5;
+      scenario.config.faults.lane_loss_prob = loss;
+      const auto avg = average(bt::run_replications(scenario, seeds, threads));
+      const double down_frac =
+          period == 0 ? 0.0
+                      : static_cast<double>(period * 2 / 5) / static_cast<double>(period);
+      table.add_row({period == 0 ? "none" : sim::fmt(static_cast<double>(period), 0),
+                     sim::fmt(down_frac, 2), sim::fmt(loss, 2), sim::fmt(avg.arrivals, 0),
+                     sim::fmt(avg.failed_announces, 0), sim::fmt(avg.retries, 0),
+                     sim::fmt(avg.lost_lanes, 0), sim::fmt(avg.completed, 0),
+                     sim::fmt(avg.mean_kbps, 0), sim::fmt(avg.corr, 3),
+                     sim::fmt(avg.offset, 3)});
+    }
+  }
+  bench::emit(cli, table);
+  bench::out(cli) << "\n(tracker outages starve joiners of neighbors until backoff retries\n"
+                     " land, and lane loss thins realized transfers — but stratification is\n"
+                     " an equilibrium of repeated TFT choking, so the rank correlation\n"
+                     " degrades smoothly with fault intensity instead of collapsing)\n\n";
+
+  // --- connect-level faults: flaky dials x NAT-ed fraction ------------
+  sim::Table connects({"connect fail prob", "nat fraction", "connect failures",
+                       "nat rejections", "arrivals", "completed", "mean leech kbps",
+                       "partner-rank corr"});
+  for (const double fail : {0.0, 0.2, 0.5}) {
+    for (const double nat : {0.0, 0.25, 0.5}) {
+      bt::SwarmScenario scenario = base;
+      scenario.config.faults.connect_failure_prob = fail;
+      scenario.config.faults.nat_fraction = nat;
+      const auto avg = average(bt::run_replications(scenario, seeds, threads));
+      connects.add_row({sim::fmt(fail, 2), sim::fmt(nat, 2),
+                        sim::fmt(avg.connect_failures, 0), sim::fmt(avg.nat_rejections, 0),
+                        sim::fmt(avg.arrivals, 0), sim::fmt(avg.completed, 0),
+                        sim::fmt(avg.mean_kbps, 0), sim::fmt(avg.corr, 3)});
+    }
+  }
+  bench::emit(cli, connects);
+  bench::out(cli) << "\n(flaky dials and NAT-ed candidates thin the overlay acceptance graph\n"
+                     " joiners see; the bounded-retry dialer and re-announce sweep keep\n"
+                     " degrees near target until both faults are severe at once)\n";
+  return 0;
+}

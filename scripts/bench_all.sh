@@ -42,6 +42,10 @@ done
 # seed), and the checkpoint
 # cost (BM_SwarmSnapshot at 10^4/10^5 peers: snapshot_mb plus save/
 # load ms, with save_load_vs_round < 1.0 as the affordability bar),
+# the fault-injection pair (BM_SwarmFaults arg 0/1: faults-off must
+# stay within noise of BM_SwarmChurnRound — the zero-cost-when-off
+# gate — and arg 1 prices the combined outage + flaky-connect + NAT +
+# lane-loss regime),
 # as one JSON snapshot (BENCH_swarm.json) for regression comparisons
 # across PRs. The tracker tier rides along: BM_TrackerSimShards
 # (shards 1/2/4/8 x 10/100/1000 churned swarms — swarm-round
@@ -53,7 +57,7 @@ micro_swarm="${build_dir}/bench/micro_swarm"
 if [[ -x "${micro_swarm}" ]]; then
   echo "== micro_swarm -> BENCH_swarm.json"
   "${micro_swarm}" \
-    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmLongChurn/.*|BM_SwarmSnapshot/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*|BM_TrackerSimShards/.*|BM_TrackerClosedRounds.*|BM_SerialSwarmLoopRounds.*' \
+    --benchmark_filter='BM_SwarmRound/.*|BM_SwarmRoundThreads/.*|BM_SwarmChurnRound/.*|BM_SwarmFaults/.*|BM_SwarmLongChurn/.*|BM_SwarmSnapshot/.*|BM_ReferenceSwarmRound/.*|BM_ScenarioReplications/.*|BM_ChurnScenarioReplications/.*|BM_TrackerSimShards/.*|BM_TrackerClosedRounds.*|BM_SerialSwarmLoopRounds.*' \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out_dir}/BENCH_swarm.json" \
     --benchmark_out_format=json > /dev/null

@@ -1,0 +1,96 @@
+#include "bittorrent/autosave.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "bittorrent/snapshot.hpp"
+#include "bittorrent/tracker_sim.hpp"
+
+namespace strat::bt {
+
+namespace {
+
+/// `auto-<zero-padded round>.snap` — round numbers, never timestamps,
+/// so generation order == lexicographic filename order and the whole
+/// scheme stays deterministic (strat-lint R3).
+std::filesystem::path generation_path(const std::filesystem::path& dir, std::size_t round) {
+  char name[32];
+  std::snprintf(name, sizeof name, "auto-%08zu.snap", round);
+  return dir / name;
+}
+
+}  // namespace
+
+Autosaver::Autosaver(std::size_t every, std::filesystem::path dir, std::size_t keep)
+    : every_(every), keep_(keep), dir_(std::move(dir)) {
+  if (every_ == 0) throw std::invalid_argument("Autosaver: every must be >= 1");
+  if (keep_ == 0) throw std::invalid_argument("Autosaver: keep must be >= 1");
+}
+
+void Autosaver::write(std::size_t round, std::string_view payload) const {
+  std::filesystem::create_directories(dir_);
+  const std::filesystem::path final_path = generation_path(dir_, round);
+  std::filesystem::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("autosave: write failed: " + tmp_path.string());
+    }
+  }
+  // The atomic publish: a crash before this line leaves only a .tmp
+  // (ignored by recovery); after it, a complete generation.
+  std::filesystem::rename(tmp_path, final_path);
+  const std::vector<std::filesystem::path> generations = autosave_files(dir_);
+  for (std::size_t i = keep_; i < generations.size(); ++i) {
+    std::error_code ec;  // best-effort: a prune failure must not kill the run
+    std::filesystem::remove(generations[i], ec);
+  }
+}
+
+std::vector<std::filesystem::path> autosave_files(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const std::filesystem::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("auto-") && name.ends_with(".snap")) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+std::optional<ResumedSwarm> recover_latest_swarm(const std::filesystem::path& dir) {
+  for (const std::filesystem::path& path : autosave_files(dir)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    try {
+      return std::optional<ResumedSwarm>(std::in_place, in);
+    } catch (const SnapshotError&) {
+      // Corrupt or truncated generation: fall back to the next-newest.
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TrackerSim> recover_latest_tracker(const std::filesystem::path& dir,
+                                                 const TrackerConfig& cfg) {
+  for (const std::filesystem::path& path : autosave_files(dir)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    try {
+      return TrackerSim::resume(in, cfg);
+    } catch (const SnapshotError&) {
+      // Corrupt or truncated generation: fall back to the next-newest.
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace strat::bt

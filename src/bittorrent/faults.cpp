@@ -1,0 +1,44 @@
+#include "bittorrent/faults.hpp"
+
+namespace strat::bt {
+
+void FaultState::add_peer(bool nat) {
+  nat_.push_back(nat ? 1 : 0);
+  retry_round_.push_back(kNoRetry);
+  retry_count_.push_back(0);
+  announce_seq_.push_back(0);
+}
+
+void FaultState::compact(std::size_t row, std::size_t last) {
+  nat_[row] = nat_[last];
+  retry_round_[row] = retry_round_[last];
+  retry_count_[row] = retry_count_[last];
+  announce_seq_[row] = announce_seq_[last];
+  nat_.pop_back();
+  retry_round_.pop_back();
+  retry_count_.pop_back();
+  announce_seq_.pop_back();
+}
+
+void FaultState::fail_announce(std::size_t i, std::size_t round, const FaultSpec& spec) {
+  ++failed_announces_;
+  ++retry_count_[i];
+  const std::size_t due = round + spec.retry_delay(retry_count_[i]);
+  retry_round_[i] =
+      due < kNoRetry ? static_cast<std::uint32_t>(due) : kNoRetry - 1;
+}
+
+void FaultState::reset_retry(std::size_t i) {
+  retry_round_[i] = kNoRetry;
+  retry_count_[i] = 0;
+}
+
+std::size_t FaultState::degraded_count() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint32_t r : retry_round_) {
+    if (r != kNoRetry) ++n;
+  }
+  return n;
+}
+
+}  // namespace strat::bt

@@ -37,6 +37,18 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
     // normalization) and break the bitwise differential contract.
     throw std::invalid_argument("ReferenceSwarm: retain_departed=false is unsupported");
   }
+  const FaultSpec& fspec = config.faults;
+  if (fspec.connect_failure_prob < 0.0 || fspec.connect_failure_prob > 1.0 ||
+      fspec.nat_fraction < 0.0 || fspec.nat_fraction > 1.0 || fspec.lane_loss_prob < 0.0 ||
+      fspec.lane_loss_prob > 1.0) {
+    throw std::invalid_argument("ReferenceSwarm: fault probabilities must be in [0, 1]");
+  }
+  if (fspec.connect_attempts == 0) {
+    throw std::invalid_argument("ReferenceSwarm: faults.connect_attempts must be >= 1");
+  }
+  if (fspec.backoff_base == 0 || fspec.backoff_cap < fspec.backoff_base) {
+    throw std::invalid_argument("ReferenceSwarm: faults.backoff_cap >= backoff_base >= 1 required");
+  }
   // Same single structural draw as Swarm, at the same point, so both
   // planes key identical per-peer choke streams.
   choke_key_ = rng();
@@ -60,6 +72,16 @@ ReferenceSwarm::ReferenceSwarm(const SwarmConfig& config, std::vector<double> up
   inflight_.resize(total);
   departed_.assign(total, false);
   for (std::size_t p = 0; p < total; ++p) table_.add(static_cast<core::PeerId>(p));
+  // Same NAT membership draws as the flat plane (counter streams keyed
+  // by external id; zero draws when the NAT fraction is off). Filled
+  // before the init walk below, which can depart complete leechers.
+  for (std::size_t p = 0; p < total; ++p) {
+    const bool nat =
+        fspec.nat_fraction > 0.0 &&
+        graph::Rng::stream(choke_key_ ^ kFaultNatSalt, static_cast<core::PeerId>(p), 0)
+            .bernoulli(fspec.nat_fraction);
+    faults_.add_peer(nat);
+  }
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -112,6 +134,58 @@ std::size_t ReferenceSwarm::connect_random_live(core::PeerId p, std::size_t need
   return made;
 }
 
+std::size_t ReferenceSwarm::announce_with_faults(core::PeerId p, std::size_t need) {
+  if (!config_.faults.flaky_connects()) return connect_random_live(p, need);
+  // Same trial stream as the flat plane: keyed by the per-peer announce
+  // sequence number (id-indexed here, row-indexed there — same peer,
+  // same count, same draws).
+  graph::Rng trials =
+      graph::Rng::stream(choke_key_ ^ kFaultConnectSalt, p, faults_.announce_seq_[p]++);
+  const double fail_prob = config_.faults.connect_failure_prob;
+  const std::size_t max_attempts = config_.faults.connect_attempts;
+  const std::size_t made = detail::announce_connect_faulty(
+      table_.ids(), p, need, rng_,
+      [&](core::PeerId q) { return overlay_.has_edge(p, q); },
+      [&](core::PeerId q) {
+        if (!faults_.rejects_inbound(q)) return false;
+        ++faults_.nat_rejections_;
+        return true;
+      },
+      [&](core::PeerId) {
+        if (fail_prob <= 0.0) return true;
+        for (std::size_t a = 0; a < max_attempts; ++a) {
+          if (!trials.bernoulli(fail_prob)) return true;
+        }
+        ++faults_.connect_failures_;
+        return false;
+      },
+      [&](core::PeerId q) { overlay_.add_edge(p, q); });
+  overlay_.finalize();
+  return made;
+}
+
+void ReferenceSwarm::fault_step() {
+  const FaultSpec& fspec = config_.faults;
+  if (!fspec.outages()) return;
+  const bool down = fspec.tracker_down(round_);
+  const std::size_t target = target_degree();
+  // Identical walk to Swarm::fault_step: the shared table's ascending
+  // row order, state looked up by external id.
+  for (PeerTable::Row r = 0; r < table_.size(); ++r) {
+    const core::PeerId p = table_.id_at(r);
+    if (!faults_.retry_pending(p) || faults_.retry_round_[p] > round_) continue;
+    ++faults_.announce_retries_;
+    if (down) {
+      faults_.fail_announce(p, round_, fspec);
+      continue;
+    }
+    faults_.reset_retry(p);
+    if (overlay_.degree(p) < target) {
+      announce_with_faults(p, target - overlay_.degree(p));
+    }
+  }
+}
+
 core::PeerId ReferenceSwarm::join(double upload_kbps, const Bitfield& have) {
   if (have.size() != config_.num_pieces) {
     throw std::invalid_argument("ReferenceSwarm::join: bitfield size mismatch");
@@ -136,8 +210,17 @@ core::PeerId ReferenceSwarm::join(double upload_kbps, const Bitfield& have) {
   inflight_.emplace_back();
   departed_.push_back(false);
   table_.add(p);
+  faults_.add_peer(config_.faults.nat_fraction > 0.0 &&
+                   graph::Rng::stream(choke_key_ ^ kFaultNatSalt, p, 0)
+                       .bernoulli(config_.faults.nat_fraction));
   ++arrivals_;
-  connect_random_live(p, target_degree());
+  if (config_.faults.tracker_down(round_)) {
+    // Announce lost to the outage: the arrival starts with no
+    // neighbors and retries on backoff, like the flat plane.
+    faults_.fail_announce(p, round_, config_.faults);
+  } else {
+    announce_with_faults(p, target_degree());
+  }
   ++leechers_;
   ranks_dirty_ = true;
   if (have_[p].complete()) {
@@ -158,9 +241,16 @@ void ReferenceSwarm::leave(core::PeerId p) {
 
 std::size_t ReferenceSwarm::reannounce(core::PeerId p) {
   if (departed_.at(p)) return 0;
+  if (config_.faults.outages()) {
+    if (config_.faults.tracker_down(round_)) {
+      if (!faults_.retry_pending(p)) faults_.fail_announce(p, round_, config_.faults);
+      return 0;
+    }
+    faults_.reset_retry(p);
+  }
   const std::size_t target = target_degree();
   if (overlay_.degree(p) >= target) return 0;
-  return connect_random_live(p, target - overlay_.degree(p));
+  return announce_with_faults(p, target - overlay_.degree(p));
 }
 
 void ReferenceSwarm::set_upload_capacity(core::PeerId p, double kbps) {
@@ -420,49 +510,56 @@ void ReferenceSwarm::plan_transfers(core::PeerId p) {
 
 void ReferenceSwarm::commit_transfers() {
   // Per-lane validation and repair, exactly like the flat plane's
-  // commit: group each plan's grants by receiver, discard a lane whose
-  // receiver departed / piece completed / progress moved, apply the
-  // valid lanes' grants verbatim in planned order, then re-drive each
-  // stale lane's planned KB live from the per-sender repair stream.
+  // commit: group each plan's grants by plan-local lane ordinal,
+  // discard a lane whose receiver departed / piece completed /
+  // progress moved, apply the valid lanes' grants verbatim in planned
+  // order, then re-drive each stale lane's planned KB live from the
+  // per-sender repair stream. Indexing by ordinal (not a receiver
+  // lookup) keeps the lane walk order — and therefore the fault
+  // injection's lane-loss draw order — bit-identical to the flat
+  // plane's commit_lanes_ table.
   struct CommitLane {
     core::PeerId receiver = 0;
     double kb = 0.0;
+    bool used = false;
     bool stale = false;
+    bool lost = false;
   };
   std::vector<CommitLane> lanes;
   for (const detail::SenderPlan& plan : plans_) {
     if (departed_[plan.sender]) continue;
     const core::PeerId p = plan.sender;
-    lanes.clear();
+    lanes.assign(plan.lane_count, CommitLane{});
+    std::size_t used_lanes = 0;
     for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
       const detail::TransferGrant& grant = grants_[g];
-      CommitLane* lane = nullptr;
-      for (CommitLane& l : lanes) {
-        if (l.receiver == grant.receiver) {
-          lane = &l;
-          break;
-        }
+      CommitLane& lane = lanes[grant.lane];
+      if (!lane.used) {
+        lane.used = true;
+        ++used_lanes;
+        lane.receiver = grant.receiver;
       }
-      if (lane == nullptr) {
-        lanes.push_back({grant.receiver, 0.0, false});
-        lane = &lanes.back();
+      lane.kb += grant.kb;
+      if (lane.stale) continue;
+      lane.stale = departed_[grant.receiver] || have_[grant.receiver].test(grant.piece) ||
+                   partial_progress(grant.receiver, grant.piece) != grant.base_kb;
+    }
+    // Same lane-loss draws as the flat plane: per-sender counter
+    // stream, lane-ordinal order, stale lanes draw too.
+    if (config_.faults.lossy_lanes() && used_lanes > 0) {
+      graph::Rng loss = graph::Rng::stream(choke_key_ ^ kFaultLaneSalt, p, round_);
+      for (CommitLane& lane : lanes) {
+        if (!lane.used) continue;
+        if (!loss.bernoulli(config_.faults.lane_loss_prob)) continue;
+        lane.lost = true;
+        ++faults_.lost_lanes_;
       }
-      lane->kb += grant.kb;
-      if (lane->stale) continue;
-      lane->stale = departed_[grant.receiver] || have_[grant.receiver].test(grant.piece) ||
-                    partial_progress(grant.receiver, grant.piece) != grant.base_kb;
     }
     for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
       const detail::TransferGrant& grant = grants_[g];
       const core::PeerId q = grant.receiver;
-      bool lane_stale = false;
-      for (const CommitLane& l : lanes) {
-        if (l.receiver == q) {
-          lane_stale = l.stale;
-          break;
-        }
-      }
-      if (lane_stale) continue;
+      const CommitLane& lane = lanes[grant.lane];
+      if (lane.stale || lane.lost) continue;
       // An earlier grant in this plan can complete and depart q; later
       // grants to it are void (same rule as the flat plane's commit).
       if (departed_[q]) continue;
@@ -487,7 +584,9 @@ void ReferenceSwarm::commit_transfers() {
     // completions strand no budget).
     bool any_stale = false;
     for (const CommitLane& lane : lanes) {
-      if (lane.stale) {
+      // A lost lane forfeits its bytes outright — no repair (the flat
+      // plane decrements its stale count the same way).
+      if (lane.stale && !lane.lost) {
         any_stale = true;
         break;
       }
@@ -496,7 +595,7 @@ void ReferenceSwarm::commit_transfers() {
       graph::Rng repairs = rerun_stream(p);
       double leftover = 0.0;
       for (const CommitLane& lane : lanes) {
-        if (!lane.stale) continue;
+        if (!lane.stale || lane.lost) continue;
         leftover += lane.kb - send_to(p, lane.receiver, lane.kb, repairs);
       }
       if (leftover > kBudgetEpsilon) {
@@ -529,6 +628,7 @@ void ReferenceSwarm::transfer_step() {
 }
 
 void ReferenceSwarm::run_round() {
+  fault_step();
   choke_step();
   if (config_.endgame) count_incoming_unchokes();
   for (PeerTable::Row r = 0; r < table_.size(); ++r) {

@@ -81,6 +81,11 @@ class ReferenceSwarm {
   void reset_stratification() { mutual_rounds_.clear(); }
   [[nodiscard]] bool departed(core::PeerId p) const { return departed_.at(p); }
   [[nodiscard]] Swarm::AvailabilityStats availability_stats() const;
+  /// Live fault state, mirroring Swarm::fault_state(). Counters must
+  /// match the flat plane bitwise under identical fault specs; the
+  /// per-peer vectors here are id-indexed (departed entries inert)
+  /// where the flat plane compacts by row.
+  [[nodiscard]] const FaultState& fault_state() const noexcept { return faults_; }
 
  private:
   void choke_step();
@@ -114,6 +119,13 @@ class ReferenceSwarm {
   [[nodiscard]] bool wants_from(core::PeerId receiver, core::PeerId sender) const;
   [[nodiscard]] std::size_t target_degree() const;
   std::size_t connect_random_live(core::PeerId p, std::size_t need);
+  /// Faulted announce, mirroring Swarm::announce_with_faults (same
+  /// shared detail::announce_connect_faulty algorithm, same trial
+  /// stream keyed by the per-peer announce sequence number).
+  std::size_t announce_with_faults(core::PeerId p, std::size_t need);
+  /// Serial backoff sweep at the top of run_round, mirroring
+  /// Swarm::fault_step over the identical table-row order.
+  void fault_step();
   void refresh_ranks() const;
 
   SwarmConfig config_;
@@ -133,6 +145,9 @@ class ReferenceSwarm {
   std::vector<std::unordered_map<core::PeerId, double>> sent_now_;
   std::vector<std::unordered_map<PieceId, double>> partial_;
   std::vector<std::unordered_map<core::PeerId, PieceId>> inflight_;
+  // Live fault state, id-indexed (this plane never compacts): departed
+  // peers' entries simply go inert. Counters match the flat plane.
+  FaultState faults_;
   std::vector<std::uint32_t> incoming_unchokes_;
   Bitfield reserved_scratch_;
   std::vector<PieceId> reserved_list_;

@@ -16,6 +16,12 @@ ScenarioResult summarize(const Swarm& swarm, std::uint64_t seed) {
   ScenarioResult out;
   out.seed = seed;
   out.completed_leechers = swarm.completed_leechers();
+  const FaultState& faults = swarm.fault_state();
+  out.fault_failed_announces = faults.failed_announces_;
+  out.fault_retries = faults.announce_retries_;
+  out.fault_connect_failures = faults.connect_failures_;
+  out.fault_nat_rejections = faults.nat_rejections_;
+  out.fault_lost_lanes = faults.lost_lanes_;
 
   // Every leecher that ever joined (initial population + arrivals),
   // with capacities read back from the swarm.

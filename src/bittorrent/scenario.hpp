@@ -344,6 +344,15 @@ struct ScenarioResult {
   std::size_t arrivals = 0;
   std::size_t departures = 0;
   std::size_t live_peers = 0;
+  /// Fault-injection totals (all zero with faults disabled): announces
+  /// lost to tracker outages, backoff retries, connects abandoned
+  /// after the attempt budget, inbound connects refused by NAT-ed
+  /// peers, transfer lanes whose bytes were dropped.
+  std::uint64_t fault_failed_announces = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_connect_failures = 0;
+  std::uint64_t fault_nat_rejections = 0;
+  std::uint64_t fault_lost_lanes = 0;
 };
 
 /// Runs one scenario with the given seed (warm-up, reset, measure),

@@ -168,6 +168,11 @@ constexpr std::uint32_t kTagRetired = 7;
 /// Piece-availability cross-check (derived from live have_ bitfields;
 /// the loader recomputes and must match).
 constexpr std::uint32_t kTagAvail = 8;
+/// Live fault state (Swarm::faults_, row order): nat_, retry_round_,
+/// retry_count_, announce_seq_, plus the run-total fault counters.
+/// Serialized even with faults disabled (all-empty vectors, zero
+/// counters) so the section layout never depends on config.
+constexpr std::uint32_t kTagFaults = 9;
 
 // Allocation guards for length-prefixed vectors: generous multiples of
 // any real run, tight enough that a corrupt length can't OOM the host.
@@ -197,6 +202,15 @@ void write_config(Writer& w, const SwarmConfig& c) {
   w.u8(c.endgame ? 1 : 0);
   w.u8(c.retain_departed ? 1 : 0);
   w.u64(c.threads);
+  w.u64(c.faults.outage_period);
+  w.u64(c.faults.outage_duration);
+  w.u64(c.faults.outage_phase);
+  w.f64(c.faults.connect_failure_prob);
+  w.u64(c.faults.connect_attempts);
+  w.f64(c.faults.nat_fraction);
+  w.f64(c.faults.lane_loss_prob);
+  w.u64(c.faults.backoff_base);
+  w.u64(c.faults.backoff_cap);
 }
 
 SwarmConfig read_config(Reader& r) {
@@ -219,6 +233,15 @@ SwarmConfig read_config(Reader& r) {
   c.endgame = r.u8() != 0;
   c.retain_departed = r.u8() != 0;
   c.threads = static_cast<std::size_t>(r.u64());
+  c.faults.outage_period = static_cast<std::size_t>(r.u64());
+  c.faults.outage_duration = static_cast<std::size_t>(r.u64());
+  c.faults.outage_phase = static_cast<std::size_t>(r.u64());
+  c.faults.connect_failure_prob = r.f64();
+  c.faults.connect_attempts = static_cast<std::size_t>(r.u64());
+  c.faults.nat_fraction = r.f64();
+  c.faults.lane_loss_prob = r.f64();
+  c.faults.backoff_base = static_cast<std::size_t>(r.u64());
+  c.faults.backoff_cap = static_cast<std::size_t>(r.u64());
   return c;
 }
 
@@ -241,7 +264,17 @@ void check_config_override(const SwarmConfig& stored, const SwarmConfig& overrid
                     stored.rate_smoothing == override_config.rate_smoothing &&
                     stored.tft_slots_per_peer == override_config.tft_slots_per_peer &&
                     stored.endgame == override_config.endgame &&
-                    stored.retain_departed == override_config.retain_departed;
+                    stored.retain_departed == override_config.retain_departed &&
+                    stored.faults.outage_period == override_config.faults.outage_period &&
+                    stored.faults.outage_duration == override_config.faults.outage_duration &&
+                    stored.faults.outage_phase == override_config.faults.outage_phase &&
+                    stored.faults.connect_failure_prob ==
+                        override_config.faults.connect_failure_prob &&
+                    stored.faults.connect_attempts == override_config.faults.connect_attempts &&
+                    stored.faults.nat_fraction == override_config.faults.nat_fraction &&
+                    stored.faults.lane_loss_prob == override_config.faults.lane_loss_prob &&
+                    stored.faults.backoff_base == override_config.faults.backoff_base &&
+                    stored.faults.backoff_cap == override_config.faults.backoff_cap;
   if (!same) {
     throw SnapshotError(
         "snapshot: config override differs from the checkpointed config "
@@ -271,6 +304,46 @@ PeerStats read_stats(Reader& r) {
   s.join_round = r.f64();
   s.leave_round = r.f64();
   return s;
+}
+
+/// The kTagFaults section: per-row fault vectors (nat_, retry_round_,
+/// retry_count_, announce_seq_) in the same row order as kTagPeers,
+/// then the five run-total counters (failed_announces_,
+/// announce_retries_, connect_failures_, nat_rejections_,
+/// lost_lanes_). Written unconditionally — with faults off the vectors
+/// are still row-sized (all-default) so the loader's size checks stay
+/// uniform.
+void write_faults(Writer& w, const FaultState& fs) {
+  w.tag(kTagFaults);
+  w.pod_span(fs.nat_.data(), fs.nat_.size());
+  w.pod_span(fs.retry_round_.data(), fs.retry_round_.size());
+  w.pod_span(fs.retry_count_.data(), fs.retry_count_.size());
+  w.pod_span(fs.announce_seq_.data(), fs.announce_seq_.size());
+  w.u64(fs.failed_announces_);
+  w.u64(fs.announce_retries_);
+  w.u64(fs.connect_failures_);
+  w.u64(fs.nat_rejections_);
+  w.u64(fs.lost_lanes_);
+}
+
+void read_faults(Reader& r, FaultState& fs, std::size_t rows) {
+  r.expect_tag(kTagFaults, "faults");
+  fs.nat_ = r.pod_vec<std::uint8_t>(rows, "nat flag");
+  fs.retry_round_ = r.pod_vec<std::uint32_t>(rows, "retry round");
+  fs.retry_count_ = r.pod_vec<std::uint32_t>(rows, "retry count");
+  fs.announce_seq_ = r.pod_vec<std::uint32_t>(rows, "announce sequence");
+  if (fs.nat_.size() != rows || fs.retry_round_.size() != rows ||
+      fs.retry_count_.size() != rows || fs.announce_seq_.size() != rows) {
+    throw SnapshotError("snapshot: fault-state array size mismatch");
+  }
+  for (const std::uint8_t flag : fs.nat_) {
+    if (flag > 1) throw SnapshotError("snapshot: invalid NAT flag");
+  }
+  fs.failed_announces_ = r.u64();
+  fs.announce_retries_ = r.u64();
+  fs.connect_failures_ = r.u64();
+  fs.nat_rejections_ = r.u64();
+  fs.lost_lanes_ = r.u64();
 }
 
 std::vector<std::uint32_t> to_u32(const std::vector<std::size_t>& v, const char* what) {
@@ -320,6 +393,7 @@ std::size_t Swarm::snapshot_byte_bound() const {
   }
   b += retired_stats_.size() * 72 + retired_mutual_.size() * 12 + 64;
   b += static_cast<std::size_t>(config_.num_pieces) * 4 + 32;
+  b += rows * 13 + 5 * 8 + 64;  // fault state: 4 per-row arrays + counters
   return b;
 }
 
@@ -422,6 +496,8 @@ void Swarm::save_impl(Writer& w) const {
   w.tag(kTagAvail);
   w.u64(config_.num_pieces);
   for (PieceId piece = 0; piece < config_.num_pieces; ++piece) w.u32(picker_.availability(piece));
+
+  write_faults(w, faults_);
 
   w.finish();
 }
@@ -587,6 +663,8 @@ Swarm Swarm::resume_impl(std::istream& in, graph::Rng& rng, const SwarmConfig* o
     // checksum folds once per logical call, so the partitions must
     // match exactly.
     for (std::uint32_t& avail : stored_avail) avail = r.u32();
+
+    read_faults(r, s.faults_, rows);
 
     r.verify_checksum();
 

@@ -12,17 +12,21 @@
 // (xoshiro words are captured and restored), and row/slot orders that
 // are themselves serialized rather than re-derived.
 //
-// Format (version 1, little-endian, not endian-portable — the magic
+// Format (version 2, little-endian, not endian-portable — the magic
 // word doubles as the byte-order probe):
 //
 //   u64 magic, u32 version, then tagged sections in fixed order —
-//   config, RNG (choke key + structural generator), peer table (live
-//   ids in row order, generation stamps, id space), run counters,
-//   edge-slot pool (neighbor/mirror/generation/free-list/rates/
-//   in-flight/mutual arrays), per-row peer state (stats, bitfields,
-//   choker state, unchoke sets, sorted adjacency + slots, partial
-//   pieces), retired records, and a piece-availability cross-check —
-//   closed by a 64-bit running checksum of every byte written.
+//   config (incl. the fault-injection spec), RNG (choke key +
+//   structural generator), peer table (live ids in row order,
+//   generation stamps, id space), run counters, edge-slot pool
+//   (neighbor/mirror/generation/free-list/rates/in-flight/mutual
+//   arrays), per-row peer state (stats, bitfields, choker state,
+//   unchoke sets, sorted adjacency + slots, partial pieces), retired
+//   records, a piece-availability cross-check, and the live fault
+//   state (NAT flags, retry deadlines/counts, announce sequence
+//   numbers, fault counters — a mid-outage save resumes with every
+//   backoff deadline intact) — closed by a 64-bit running checksum of
+//   every byte written.
 //
 // Loading rejects bad magic, unknown versions, truncation, checksum
 // mismatches and any structurally inconsistent state (every index is
@@ -50,6 +54,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <memory>
 #include <optional>
@@ -79,7 +84,9 @@ class SnapshotError : public std::runtime_error {
 inline constexpr std::uint64_t kSnapshotMagic = 0x535452415453574DULL;
 /// "STRATCHN" for the churn-driver companion section.
 inline constexpr std::uint64_t kChurnMagic = 0x535452415443484EULL;
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2 added the fault-injection spec to the config section and
+/// the tagged fault-state section (kTagFaults).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 namespace snapshot_detail {
 
@@ -374,6 +381,14 @@ class ResumedSwarm {
 [[nodiscard]] ResumedSwarm resume_from_string(const std::string& snapshot);
 [[nodiscard]] ResumedSwarm resume_from_string(const std::string& snapshot,
                                               const SwarmConfig& config);
+
+/// Crash recovery: resumes from the newest autosave generation under
+/// `dir` that passes the loader's full validation (magic, bounds,
+/// checksum) — a corrupt or truncated newest generation falls back to
+/// the previous one. Returns nullopt when no generation loads (or the
+/// directory doesn't exist). Pairs with Swarm::autosave_every();
+/// implemented in autosave.cpp.
+[[nodiscard]] std::optional<ResumedSwarm> recover_latest_swarm(const std::filesystem::path& dir);
 
 /// Warm-started what-if sweeps: resumes `copies` fully independent
 /// (rng, swarm) pairs from one snapshot. Every fork starts bitwise

@@ -49,6 +49,18 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
       config.tft_slots_per_peer.size() != config.num_peers) {
     throw std::invalid_argument("Swarm: tft_slots_per_peer needs one entry per leecher");
   }
+  const FaultSpec& fspec = config.faults;
+  if (fspec.connect_failure_prob < 0.0 || fspec.connect_failure_prob > 1.0 ||
+      fspec.nat_fraction < 0.0 || fspec.nat_fraction > 1.0 || fspec.lane_loss_prob < 0.0 ||
+      fspec.lane_loss_prob > 1.0) {
+    throw std::invalid_argument("Swarm: fault probabilities must be in [0, 1]");
+  }
+  if (fspec.connect_attempts == 0) {
+    throw std::invalid_argument("Swarm: faults.connect_attempts must be >= 1");
+  }
+  if (fspec.backoff_base == 0 || fspec.backoff_cap < fspec.backoff_base) {
+    throw std::invalid_argument("Swarm: faults.backoff_cap >= backoff_base >= 1 required");
+  }
   // The per-peer choke streams are keyed off one structural draw, made
   // before any other RNG use so both data planes derive the same key.
   choke_key_ = rng();
@@ -102,6 +114,19 @@ Swarm::Swarm(const SwarmConfig& config, std::vector<double> upload_kbps, graph::
   }
   unchoked_.resize(total);
   partial_.resize(total);
+  // Fault rows are filled before the init walk below (which can depart
+  // Bernoulli-complete leechers, compacting rows). NAT membership is a
+  // counter-stream draw keyed by external id — zero draws when the NAT
+  // fraction is off, and independent of the structural generator either
+  // way. The initial erdos-renyi overlay is NAT-exempt: it models
+  // pre-existing connectivity, not fresh announce dials.
+  for (std::size_t p = 0; p < total; ++p) {
+    const bool nat =
+        fspec.nat_fraction > 0.0 &&
+        graph::Rng::stream(choke_key_ ^ kFaultNatSalt, static_cast<core::PeerId>(p), 0)
+            .bernoulli(fspec.nat_fraction);
+    faults_.add_peer(nat);
+  }
 
   double seed_capacity = config.seed_upload_kbps;
   if (seed_capacity <= 0.0) {
@@ -247,6 +272,60 @@ std::size_t Swarm::connect_random_live(core::PeerId p, std::size_t need) {
       [&](core::PeerId q) { connect(p, q); });
 }
 
+std::size_t Swarm::announce_with_faults(core::PeerId p, std::size_t need) {
+  if (!config_.faults.flaky_connects()) return connect_random_live(p, need);
+  const Row pr = table_.row_of(p);
+  // One trial stream per announce operation, keyed by the per-peer
+  // announce sequence number — the draws depend only on (peer, how many
+  // announces it made), never on threads or shard layout.
+  graph::Rng trials =
+      graph::Rng::stream(choke_key_ ^ kFaultConnectSalt, p, faults_.announce_seq_[pr]++);
+  const double fail_prob = config_.faults.connect_failure_prob;
+  const std::size_t max_attempts = config_.faults.connect_attempts;
+  return detail::announce_connect_faulty(
+      table_.ids(), p, need, rng_,
+      [&](core::PeerId q) {
+        return std::binary_search(nbr_[pr].begin(), nbr_[pr].end(), q);
+      },
+      [&](core::PeerId q) {
+        if (!faults_.rejects_inbound(table_.row_of(q))) return false;
+        ++faults_.nat_rejections_;
+        return true;
+      },
+      [&](core::PeerId) {
+        if (fail_prob <= 0.0) return true;
+        for (std::size_t a = 0; a < max_attempts; ++a) {
+          if (!trials.bernoulli(fail_prob)) return true;
+        }
+        ++faults_.connect_failures_;
+        return false;
+      },
+      [&](core::PeerId q) { connect(p, q); });
+}
+
+void Swarm::fault_step() {
+  const FaultSpec& fspec = config_.faults;
+  if (!fspec.outages()) return;
+  const bool down = fspec.tracker_down(round_);
+  const std::size_t target = target_degree();
+  // Serial ascending row walk. No departures happen here, so rows are
+  // stable; announces mutate only adjacency and the structural RNG,
+  // exactly like the ChurnDriver's reannounce sweep.
+  for (Row r = 0; r < table_.size(); ++r) {
+    if (!faults_.retry_pending(r) || faults_.retry_round_[r] > round_) continue;
+    ++faults_.announce_retries_;
+    if (down) {
+      // Still down: the failed retry backs off further (capped).
+      faults_.fail_announce(r, round_, fspec);
+      continue;
+    }
+    faults_.reset_retry(r);
+    if (nbr_[r].size() < target) {
+      announce_with_faults(table_.id_at(r), target - nbr_[r].size());
+    }
+  }
+}
+
 core::PeerId Swarm::join(double upload_kbps, const Bitfield& have) {
   if (have.size() != config_.num_pieces) {
     throw std::invalid_argument("Swarm::join: bitfield size mismatch");
@@ -265,9 +344,18 @@ core::PeerId Swarm::join(double upload_kbps, const Bitfield& have) {
   partial_.emplace_back();
   nbr_.emplace_back();
   nslot_.emplace_back();
+  faults_.add_peer(config_.faults.nat_fraction > 0.0 &&
+                   graph::Rng::stream(choke_key_ ^ kFaultNatSalt, p, 0)
+                       .bernoulli(config_.faults.nat_fraction));
   ++arrivals_;
-  // Tracker announce: uniform picks from the live population.
-  connect_random_live(p, target_degree());
+  if (config_.faults.tracker_down(round_)) {
+    // The arrival's announce never reaches the tracker: it enters with
+    // no neighbors (degraded from birth) and retries on backoff.
+    faults_.fail_announce(r, round_, config_.faults);
+  } else {
+    // Tracker announce: uniform picks from the live population.
+    announce_with_faults(p, target_degree());
+  }
   ++leechers_;
   ranks_dirty_ = true;
   if (have_[r].complete()) {
@@ -291,9 +379,20 @@ std::size_t Swarm::reannounce(core::PeerId p) {
   if (p >= table_.id_space()) throw std::out_of_range("Swarm::reannounce: unknown peer");
   const Row pr = table_.row_of(p);
   if (pr == PeerTable::kNoRow) return 0;
+  if (config_.faults.outages()) {
+    if (config_.faults.tracker_down(round_)) {
+      // A retry already on the books keeps its (longer) schedule; a
+      // fresh failure starts the backoff clock.
+      if (!faults_.retry_pending(pr)) faults_.fail_announce(pr, round_, config_.faults);
+      return 0;
+    }
+    // Reached the tracker: reset-on-success, whether or not the degree
+    // check below makes any new connections.
+    faults_.reset_retry(pr);
+  }
   const std::size_t target = target_degree();
   if (nbr_[pr].size() >= target) return 0;
-  return connect_random_live(p, target - nbr_[pr].size());
+  return announce_with_faults(p, target - nbr_[pr].size());
 }
 
 void Swarm::set_upload_capacity(core::PeerId p, double kbps) {
@@ -564,6 +663,7 @@ void Swarm::depart_peer(core::PeerId p, double when) {
       incoming_unchokes_[rem.row] = incoming_unchokes_[last];
     }
   }
+  faults_.compact(rem.row, last);
   stats_.pop_back();
   have_.pop_back();
   chokers_.pop_back();
@@ -709,13 +809,31 @@ void Swarm::commit_transfers(std::size_t chunks) {
         }
       }
       profile_.transfer_lanes += used_lanes;
+      // Fault injection: each used lane may be lost at commit time
+      // (transfer timeout). Draws come from the per-sender counter
+      // stream in lane-ordinal order — stale lanes draw too, so the
+      // sequence is a pure function of the plan's shape and both data
+      // planes consume identically. A lost lane forfeits its bytes
+      // outright: no verbatim apply, no stale repair; the receivers
+      // re-enter the normal redistribute path next round.
+      if (config_.faults.lossy_lanes() && used_lanes > 0) {
+        graph::Rng loss =
+            graph::Rng::stream(choke_key_ ^ kFaultLaneSalt, plan.sender, round_);
+        for (CommitLane& lane : commit_lanes_) {
+          if (!lane.used) continue;
+          if (!loss.bernoulli(config_.faults.lane_loss_prob)) continue;
+          lane.lost = true;
+          ++faults_.lost_lanes_;
+          if (lane.stale) --stale_lanes;  // lost wins: never repaired
+        }
+      }
       // Apply the valid lanes' grants verbatim, in planned order.
       Row pr = table_.row_of(plan.sender);
       bool moved = false;  // a completion departure compacted rows mid-plan
       for (std::uint32_t g = plan.begin; g != plan.end; ++g) {
         const detail::TransferGrant& grant = grants[g];
         const CommitLane* lane = &commit_lanes_[grant.lane];
-        if (lane->stale) continue;
+        if (lane->stale || lane->lost) continue;
         Row qr = lane->row;
         if (moved) {
           // An earlier grant in this very plan completed a receiver and
@@ -766,7 +884,7 @@ void Swarm::commit_transfers(std::size_t chunks) {
         graph::Rng repairs = rerun_stream(plan.sender);
         double leftover = 0.0;
         for (const CommitLane& lane : commit_lanes_) {
-          if (!lane.stale) continue;
+          if (!lane.stale || lane.lost) continue;
           leftover +=
               lane.kb - send_to(plan.sender, lane.receiver, lane.slot_pq, lane.kb, repairs);
         }
@@ -845,6 +963,11 @@ void Swarm::fold_rates() {
 
 void Swarm::run_round() {
   using clock = std::chrono::steady_clock;
+  if (config_.faults.outages()) {
+    const auto f0 = clock::now();
+    fault_step();
+    profile_.fault_seconds += seconds_since(f0, clock::now());
+  }
   const auto t0 = clock::now();
   choke_step();
   const auto t1 = clock::now();
@@ -862,10 +985,30 @@ void Swarm::run_round() {
   profile_.transfer_seconds += seconds_since(t3, t4);
   profile_.fold_seconds += seconds_since(t4, t5);
   ++round_;
+  if (config_.faults.enabled()) {
+    profile_.fault_failed_announces = faults_.failed_announces_;
+    profile_.fault_retries = faults_.announce_retries_;
+    profile_.fault_connect_failures = faults_.connect_failures_;
+    profile_.fault_nat_rejections = faults_.nat_rejections_;
+    profile_.fault_lost_lanes = faults_.lost_lanes_;
+    profile_.fault_degraded_peers = faults_.degraded_count();
+  }
+  // Round boundary — the valid checkpoint point. The save itself never
+  // consumes RNG, so autosave cadence cannot perturb the run.
+  if (autosaver_.has_value() && autosaver_->due(round_)) {
+    std::string payload;
+    save(payload);
+    autosaver_->write(round_, payload);
+  }
 }
 
 void Swarm::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+void Swarm::autosave_every(std::size_t every, const std::filesystem::path& dir,
+                           std::size_t keep) {
+  autosaver_.emplace(every, dir, keep);
 }
 
 void Swarm::reset_stratification() {
@@ -1084,7 +1227,9 @@ Swarm::MemoryFootprint Swarm::memory_footprint() const {
                          flat(incoming_unchokes_) + flat(order_scratch_) +
                          nested(choke_scratch_) + nested(incoming_scratch_) +
                          flat(commit_lanes_) + flat(transfer_scratch_) +
-                         flat(hungry_scratch_) + flat(next_hungry_scratch_);
+                         flat(hungry_scratch_) + flat(next_hungry_scratch_) +
+                         flat(faults_.nat_) + flat(faults_.retry_round_) +
+                         flat(faults_.retry_count_) + flat(faults_.announce_seq_);
   for (const TransferScratch& s : transfer_scratch_) {
     out.peer_state_bytes += flat(s.hungry) + flat(s.next_hungry) + flat(s.lanes) +
                             flat(s.grants) + flat(s.plans) +

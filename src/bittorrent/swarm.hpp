@@ -94,6 +94,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <limits>
 #include <optional>
@@ -101,7 +102,9 @@
 #include <utility>
 #include <vector>
 
+#include "bittorrent/autosave.hpp"
 #include "bittorrent/choker.hpp"
+#include "bittorrent/faults.hpp"
 #include "bittorrent/peer_table.hpp"
 #include "bittorrent/piece_picker.hpp"
 #include "core/types.hpp"
@@ -163,6 +166,15 @@ struct SwarmConfig {
   /// hardware thread. ReferenceSwarm accepts but ignores it (the
   /// oracle always runs serial — and still matches bitwise).
   std::size_t threads = 1;
+  /// Deterministic fault injection (faults.hpp): tracker outage
+  /// windows with capped-exponential announce backoff, per-connect
+  /// failure probability with bounded retry, NAT-ed peers rejecting
+  /// inbound connects, and per-lane transfer loss. All knobs default
+  /// to off, and a disabled spec draws no randomness — faults-off runs
+  /// are bitwise identical to the pre-fault simulator. Fault draws use
+  /// counter-based streams, so faulted results stay bitwise invariant
+  /// to `threads` (and TrackerSim shard count).
+  FaultSpec faults;
 };
 
 /// Per-peer accounting, exposed for metrics.
@@ -425,6 +437,52 @@ std::size_t announce_connect(std::span<const core::PeerId> live_ids, core::PeerI
   return made;
 }
 
+/// announce_connect with connect-level faults: `rejects_inbound(q)`
+/// models a NAT-ed candidate (the dial is refused before any connect
+/// trial draws), `connect_ok(q)` runs the bounded connect-retry trials
+/// and reports whether the connection stuck. The same rejection-
+/// sampling structure and cap as the fault-free announce, so the
+/// structural draw sequence from `rng` is identical per candidate
+/// visited; fault draws come from the caller's counter-based trial
+/// stream inside `connect_ok`. The fallback exact scan excludes NAT-ed
+/// candidates before sampling (the dialer can never hold them), while
+/// a sampled candidate whose connect trials all fail is simply lost —
+/// the peer runs below target degree until a later re-announce tops it
+/// up. One definition shared by both data planes.
+template <typename HasEdgeFn, typename RejectsFn, typename TrialFn, typename ConnectFn>
+std::size_t announce_connect_faulty(std::span<const core::PeerId> live_ids, core::PeerId p,
+                                    std::size_t need, graph::Rng& rng, HasEdgeFn&& has_edge,
+                                    RejectsFn&& rejects_inbound, TrialFn&& connect_ok,
+                                    ConnectFn&& connect) {
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t cap = 8 * need + 64;
+  while (made < need && attempts < cap && live_ids.size() > 1) {
+    ++attempts;
+    const core::PeerId q = live_ids[static_cast<std::size_t>(rng.below(live_ids.size()))];
+    if (q == p || has_edge(q)) continue;
+    if (rejects_inbound(q)) continue;
+    if (!connect_ok(q)) continue;
+    connect(q);
+    ++made;
+  }
+  if (made < need) {
+    std::vector<core::PeerId> candidates;
+    candidates.reserve(live_ids.size());
+    for (const core::PeerId q : live_ids) {
+      if (q == p || has_edge(q) || rejects_inbound(q)) continue;
+      candidates.push_back(q);
+    }
+    const auto chosen = sample_without_replacement(candidates, need - made, rng);
+    for (const core::PeerId q : chosen) {
+      if (!connect_ok(q)) continue;
+      connect(q);
+      ++made;
+    }
+  }
+  return made;
+}
+
 /// Sorts `order` (external leecher ids) by (capacity desc, id asc) and
 /// writes dense ranks indexed by external id over [0, rank_size)
 /// (entries outside `order` stay 0 and are never read). The one
@@ -531,6 +589,15 @@ class Swarm {
   /// 64-core box. Throws SnapshotError if any other field differs.
   [[nodiscard]] static Swarm resume(std::istream& in, graph::Rng& rng,
                                     const SwarmConfig& config);
+
+  /// Arms periodic crash-safe checkpoints: every `every` rounds,
+  /// run_round() serializes the swarm through save() and publishes it
+  /// under `dir` via temp-file + atomic rename, keeping the newest
+  /// `keep` generations (see autosave.hpp; recover_latest_swarm() in
+  /// snapshot.hpp resumes from the newest valid one). Host-side
+  /// policy, not simulation state: snapshots don't carry it, and it
+  /// never affects results.
+  void autosave_every(std::size_t every, const std::filesystem::path& dir, std::size_t keep = 3);
 
   // --- dynamic overlay ------------------------------------------------
 
@@ -706,6 +773,16 @@ class Swarm {
     double transfer_rerun_seconds = 0.0;    // serial: stale-lane repairs only
     std::uint64_t transfer_lanes = 0;       // (sender, receiver) lanes carrying >= 1 grant
     std::uint64_t transfer_reruns = 0;      // lanes discarded as stale and re-driven live
+    // Fault injection (zero when faults are off). fault_seconds times
+    // the serial fault_step (announce retries); the counters mirror the
+    // authoritative FaultState totals, refreshed at every round's end.
+    double fault_seconds = 0.0;
+    std::uint64_t fault_failed_announces = 0;  // announces lost to outages
+    std::uint64_t fault_retries = 0;           // backoff retries attempted
+    std::uint64_t fault_connect_failures = 0;  // candidates lost after all trials
+    std::uint64_t fault_nat_rejections = 0;    // dials refused by NAT-ed peers
+    std::uint64_t fault_lost_lanes = 0;        // committed lanes forfeited
+    std::uint64_t fault_degraded_peers = 0;    // retry pending at round end
     /// Share of planned lanes the commit had to discard and re-drive
     /// serially — the conflict cost of the speculative compute stage.
     [[nodiscard]] double rerun_fraction() const noexcept {
@@ -719,6 +796,11 @@ class Swarm {
   /// waiver (R4): a resumed run restarts its timers at zero yet stays
   /// bitwise-identical to the uninterrupted one.
   [[nodiscard]] const PhaseProfile& phase_profile() const noexcept { return profile_; }
+
+  /// Live fault state (per-row NAT flags, backoff schedules, lifetime
+  /// counters). Row-indexed like every other per-peer container; all
+  /// entries are inert when faults are disabled.
+  [[nodiscard]] const FaultState& fault_state() const noexcept { return faults_; }
 
  private:
   /// Tag ctor for resume(): binds config/rng and sizes the piece
@@ -828,6 +910,15 @@ class Swarm {
   /// Connects p to up to `need` distinct live non-neighbors chosen
   /// uniformly (the tracker announce).
   std::size_t connect_random_live(core::PeerId p, std::size_t need);
+  /// The announce every caller routes through: plain connect_random_live
+  /// when connect-level faults are off, announce_connect_faulty (NAT
+  /// rejections + bounded connect-retry trials from the per-announce
+  /// counter stream) when they're on.
+  std::size_t announce_with_faults(core::PeerId p, std::size_t need);
+  /// Serial backoff sweep at the top of run_round: peers whose retry
+  /// deadline arrived re-announce (or reschedule if the tracker is
+  /// still down). No-op unless outages are configured.
+  void fault_step();
   /// Rebuilds bandwidth_rank_ if a join (or, without the archive, a
   /// departure) made it stale.
   void refresh_ranks() const;
@@ -863,6 +954,15 @@ class Swarm {
   // accumulated) pairs. At most one entry per active sender, so linear
   // scans win over hashing.
   std::vector<std::vector<std::pair<PieceId, double>>> partial_;
+  // Live fault state (row-indexed vectors + lifetime counters),
+  // compacted in lockstep with the table like every row container.
+  // Maintained even with faults off (push/compact only — no draws), so
+  // enabling faults never changes container shapes.
+  // strat-lint: serialized-via(write_faults, read_faults)
+  FaultState faults_;
+  // strat-lint: not-serialized -- host-side checkpoint policy
+  // (autosave_every), never simulation state; a resumed run re-arms it.
+  std::optional<Autosaver> autosaver_;
   // Endgame-mode scratch: per-row count of inbound unchokes this round
   // (row-indexed, compacted mid-round with the table), and a reusable
   // exclusion bitfield for the request discipline (reserved_list_
@@ -906,6 +1006,7 @@ class Swarm {
     double kb = 0.0;
     bool used = false;  // lane ordinal actually granted to in this plan
     bool stale = false;
+    bool lost = false;  // fault injection dropped this lane's bytes
   };
   // strat-lint: not-serialized -- commit-stage scratch, cleared per plan
   std::vector<CommitLane> commit_lanes_;

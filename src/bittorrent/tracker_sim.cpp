@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -264,10 +265,22 @@ void TrackerSim::run_round() {
   shard_seconds_ += *mx;
   shard_imbalance_seconds_ += *mx - *mn;
   ++round_;
+  // Round boundary — the valid checkpoint point; save() consumes no
+  // RNG, so autosave cadence cannot perturb the run.
+  if (autosaver_.has_value() && autosaver_->due(round_)) {
+    std::ostringstream payload;
+    save(payload);
+    autosaver_->write(round_, payload.view());
+  }
 }
 
 void TrackerSim::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+void TrackerSim::autosave_every(std::size_t every, const std::filesystem::path& dir,
+                                std::size_t keep) {
+  autosaver_.emplace(every, dir, keep);
 }
 
 void TrackerSim::reset_stratification() {
@@ -290,6 +303,14 @@ EcosystemReport TrackerSim::ecosystem_report() const {
     sum.completed_leechers = s.completed_leechers();
     sum.partner_rank_correlation = strat.partner_rank_correlation;
     sum.reciprocated_pairs = strat.reciprocated_pairs;
+    const FaultState& fs = s.fault_state();
+    sum.degraded_peers = fs.degraded_count();
+    out.fault_failed_announces += fs.failed_announces_;
+    out.fault_retries += fs.announce_retries_;
+    out.fault_connect_failures += fs.connect_failures_;
+    out.fault_nat_rejections += fs.nat_rejections_;
+    out.fault_lost_lanes += fs.lost_lanes_;
+    out.degraded_peers += sum.degraded_peers;
     out.per_swarm.push_back(sum);
     corr_weighted +=
         strat.partner_rank_correlation * static_cast<double>(strat.reciprocated_pairs);
@@ -363,6 +384,13 @@ EcosystemProfile TrackerSim::ecosystem_profile() const {
     out.swarms.transfer_rerun_seconds += p.transfer_rerun_seconds;
     out.swarms.transfer_lanes += p.transfer_lanes;
     out.swarms.transfer_reruns += p.transfer_reruns;
+    out.swarms.fault_seconds += p.fault_seconds;
+    out.swarms.fault_failed_announces += p.fault_failed_announces;
+    out.swarms.fault_retries += p.fault_retries;
+    out.swarms.fault_connect_failures += p.fault_connect_failures;
+    out.swarms.fault_nat_rejections += p.fault_nat_rejections;
+    out.swarms.fault_lost_lanes += p.fault_lost_lanes;
+    out.swarms.fault_degraded_peers += p.fault_degraded_peers;
   }
   out.barrier_seconds = barrier_seconds_;
   out.shard_seconds = shard_seconds_;

@@ -45,6 +45,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -52,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bittorrent/autosave.hpp"
 #include "bittorrent/bandwidth.hpp"
 #include "bittorrent/scenario.hpp"
 #include "bittorrent/swarm.hpp"
@@ -222,8 +224,21 @@ struct EcosystemReport {
     std::size_t completed_leechers = 0;
     double partner_rank_correlation = 0.0;
     std::size_t reciprocated_pairs = 0;
+    /// Peers currently running degraded (waiting out announce backoff).
+    std::size_t degraded_peers = 0;
   };
   std::vector<SwarmSummary> per_swarm;
+  /// Fault-injection totals summed over member swarms (all zero with
+  /// faults disabled): announces lost to outages, backoff retries,
+  /// connects abandoned after the attempt budget, inbound connects
+  /// refused by NAT-ed peers, transfer lanes whose bytes were dropped.
+  std::uint64_t fault_failed_announces = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_connect_failures = 0;
+  std::uint64_t fault_nat_rejections = 0;
+  std::uint64_t fault_lost_lanes = 0;
+  /// Degraded peers summed over member swarms right now.
+  std::size_t degraded_peers = 0;
   /// Mean per-swarm correlation weighted by reciprocated pairs.
   double mean_partner_rank_correlation = 0.0;
   std::size_t live_registry_peers = 0;
@@ -309,6 +324,14 @@ class TrackerSim {
   /// against the restored swarms before wiring).
   [[nodiscard]] static TrackerSim resume(std::istream& in, const TrackerConfig& cfg);
 
+  /// Arms periodic crash-safe checkpoints: every `every` rounds,
+  /// run_round() serializes the whole ecosystem through save() and
+  /// publishes it under `dir` via temp-file + atomic rename, keeping
+  /// the newest `keep` generations (see autosave.hpp). Host-side
+  /// policy, not simulation state: snapshots don't carry it, and it
+  /// never affects results.
+  void autosave_every(std::size_t every, const std::filesystem::path& dir, std::size_t keep = 3);
+
  private:
   /// One member swarm: the structural Rng at a stable heap-slot
   /// address (Swarm and ChurnDriver hold references into it — the
@@ -359,6 +382,18 @@ class TrackerSim {
   double shard_seconds_ = 0.0;
   // strat-lint: not-serialized -- profiling accumulator (see above)
   double shard_imbalance_seconds_ = 0.0;
+  // strat-lint: not-serialized -- host-side checkpoint policy
+  // (autosave_every), never simulation state; a resumed run re-arms it.
+  std::optional<Autosaver> autosaver_;
 };
+
+/// Crash recovery for a tracker ecosystem: resumes from the newest
+/// autosave generation under `dir` that passes resume()'s full
+/// validation, falling back past corrupt or truncated generations.
+/// Returns nullopt when none loads. `cfg` follows the resume()
+/// contract (construction input, `shards` free). Implemented in
+/// autosave.cpp.
+[[nodiscard]] std::optional<TrackerSim> recover_latest_tracker(const std::filesystem::path& dir,
+                                                               const TrackerConfig& cfg);
 
 }  // namespace strat::bt

@@ -404,8 +404,16 @@ DEFAULT_CONTRACTS = [
         class_name="Swarm",
         header="src/bittorrent/swarm.hpp",
         serializers=["src/bittorrent/snapshot.cpp"],
-        save_fns=["save_impl", "write_config", "write_stats"],
-        load_fns=["resume_impl", "read_config", "read_stats"],
+        save_fns=["save_impl", "write_config", "write_stats", "write_faults"],
+        load_fns=["resume_impl", "read_config", "read_stats", "read_faults"],
+    ),
+    SnapshotContract(
+        class_name="FaultState",
+        header="src/bittorrent/faults.hpp",
+        serializers=["src/bittorrent/snapshot.cpp"],
+        save_fns=["write_faults"],
+        load_fns=["read_faults"],
+        check_tags=False,  # kTagFaults is owned by the Swarm contract
     ),
     SnapshotContract(
         class_name="ChurnDriver",

@@ -143,6 +143,7 @@ class SnapshotDeletionDemoTest(unittest.TestCase):
 
     CONTRACT_FILES = [
         "src/bittorrent/swarm.hpp",
+        "src/bittorrent/faults.hpp",
         "src/bittorrent/scenario.hpp",
         "src/bittorrent/snapshot.cpp",
         "src/bittorrent/snapshot.hpp",
@@ -179,6 +180,27 @@ class SnapshotDeletionDemoTest(unittest.TestCase):
             any(f.rule == R4 and "Swarm::rate_in_" in f.message
                 and "not written" in f.message for f in findings),
             "R4 must flag the dropped rate_in_ save line: " +
+            "; ".join(f.message for f in findings))
+
+    def test_deleting_fault_save_line_fires_r4(self):
+        # Same demo for the FaultState contract: write_faults must
+        # cover every member of faults.hpp, so dropping the
+        # retry_round_ span makes R4 fail before any simulation runs.
+        with tempfile.TemporaryDirectory() as tmpdir:
+            tmp = Path(tmpdir)
+            self.copy_contract_tree(tmp)
+            serializer = tmp / "src/bittorrent/snapshot.cpp"
+            lines = serializer.read_text().splitlines(keepends=True)
+            pruned = [ln for ln in lines
+                      if "w.pod_span(fs.retry_round_" not in ln]
+            self.assertEqual(len(lines) - len(pruned), 1,
+                             "expected exactly one retry_round_ save line to prune")
+            serializer.write_text("".join(pruned))
+            findings = check_snapshot_complete(tmp, strat_lint.DEFAULT_CONTRACTS)
+        self.assertTrue(
+            any(f.rule == R4 and "FaultState::retry_round_" in f.message
+                and "not written" in f.message for f in findings),
+            "R4 must flag the dropped fault save line: " +
             "; ".join(f.message for f in findings))
 
 
